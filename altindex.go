@@ -1,0 +1,57 @@
+// Package altindex is a hybrid learned index for concurrent in-memory
+// database workloads, implementing the ALT-index design (Yang et al., ICDE
+// 2025): a flattened learned-index layer of Greedy Pessimistic Linear (GPL)
+// models whose predictions are exact by construction, backed by an
+// optimized Adaptive Radix Tree (ART-OPT) that hosts conflict data, with a
+// fast pointer buffer linking each model to its ART subtree.
+//
+// The index maps uint64 keys to uint64 values, supports concurrent Get /
+// Insert / Update / Remove / Scan, and retrains crowded models dynamically.
+//
+// Quick start:
+//
+//	idx := altindex.New(altindex.Options{})
+//	if err := idx.Bulkload(pairs); err != nil { ... } // pairs sorted by key
+//	v, ok := idx.Get(42)
+//	_ = idx.Insert(43, 430)
+//	idx.Scan(40, 10, func(k, v uint64) bool { return true })
+//
+// The zero Options value selects the paper's recommendations (error bound
+// = bulkload/1000, fast pointers and retraining enabled).
+package altindex
+
+import (
+	"altindex/internal/core"
+	"altindex/internal/index"
+)
+
+// Index is the hybrid ALT-index. Create with New; safe for concurrent use.
+type Index = core.ALT
+
+// Options configure an Index; the zero value is the paper-recommended
+// default.
+type Options = core.Options
+
+// KV is a key/value pair for Bulkload.
+type KV = index.KV
+
+// Key and Value are the 8-byte record types.
+type (
+	Key   = index.Key
+	Value = index.Value
+)
+
+// Concurrent is the ordered-index interface Index satisfies; the baselines
+// in internal/ implement it too, which is how the benchmark harness
+// compares them.
+type Concurrent = index.Concurrent
+
+// ErrUnsortedBulk is returned by Bulkload for unsorted input.
+var ErrUnsortedBulk = index.ErrUnsortedBulk
+
+// New returns an empty ALT-index with the given options.
+func New(opts Options) *Index { return core.New(opts) }
+
+// NewDefault returns an empty ALT-index with the paper-recommended
+// defaults.
+func NewDefault() *Index { return core.New(Options{}) }

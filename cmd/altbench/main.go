@@ -1,0 +1,88 @@
+// Command altbench regenerates the tables and figures of the ALT-index
+// paper's evaluation (§IV) at a configurable scale.
+//
+// Usage:
+//
+//	altbench -list
+//	altbench -exp table1
+//	altbench -exp fig7c -keys 5000000 -threads 32 -ops 4000000
+//	altbench -exp all
+//	altbench -exp fig7           # expands to fig7a..fig7e
+//
+// The paper runs 200M keys on 36 physical cores; the defaults here are
+// laptop-scale (2M keys). Absolute numbers differ, the comparative shape is
+// what the experiments reproduce (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"altindex/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), 'fig7', or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		keys    = flag.Int("keys", 2_000_000, "dataset size")
+		threads = flag.Int("threads", 0, "worker goroutines (default min(GOMAXPROCS,32))")
+		ops     = flag.Int("ops", 1_000_000, "operations per run")
+		seed    = flag.Uint64("seed", 1, "dataset/workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "altbench: -exp required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p := bench.Params{Keys: *keys, Threads: *threads, Ops: *ops, Seed: *seed, Out: os.Stdout}
+	ids := expand(*exp)
+	if len(ids) == 0 {
+		fmt.Fprintf(os.Stderr, "altbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		e, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "altbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		e.Run(p)
+	}
+}
+
+// expand resolves shorthand ids: "all" runs everything, "fig7"/"fig8"
+// expand to their sub-figures.
+func expand(id string) []string {
+	switch id {
+	case "all":
+		var ids []string
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+		return ids
+	case "fig7", "fig8":
+		var ids []string
+		for _, e := range bench.Experiments() {
+			if strings.HasPrefix(e.ID, id) {
+				ids = append(ids, e.ID)
+			}
+		}
+		return ids
+	}
+	if _, ok := bench.ByID(id); ok {
+		return []string{id}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Command altdb serves a tiny in-memory key/value database over TCP, with
+// ALT-index underneath (via the memdb substrate) — a minimal "memory
+// database system" in the paper's sense.
+//
+// Protocol: one command per line, space-separated, replies are single
+// lines ("OK", "VALUE <v>", "NIL", "ROW <cols...>", "ERR <msg>", or
+// multi-line scans terminated by "END").
+//
+//	SET <key> <value>          store/overwrite
+//	GET <key>                  read
+//	DEL <key>                  delete
+//	SCAN <start> <n>           up to n pairs with key >= start
+//	LEN                        number of keys
+//	STATS                      engine internals
+//	QUIT
+//
+// Start with:  go run ./cmd/altdb -listen 127.0.0.1:7700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7700", "address to listen on")
+	)
+	flag.Parse()
+
+	srv, err := NewServer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "altdb listening on %s\n", ln.Addr())
+	log.Fatal(srv.Serve(ln))
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+
+	"altindex"
+)
+
+// Server is the altdb protocol engine: a single keyspace on one ALT-index.
+// Exposed as a type (rather than inline in main) so tests can drive it over
+// a real connection.
+type Server struct {
+	idx *altindex.Index
+}
+
+// NewServer builds an empty database. The index trains its learned layer
+// automatically as data arrives (no bulkload needed).
+func NewServer() (*Server, error) {
+	return &Server{idx: altindex.NewDefault()}, nil
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			fmt.Fprintln(w, "BYE")
+			w.Flush()
+			return
+		}
+		s.dispatch(w, line)
+		w.Flush()
+	}
+}
+
+func (s *Server) dispatch(w *bufio.Writer, line string) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch cmd {
+	case "SET":
+		if len(args) != 2 {
+			fmt.Fprintln(w, "ERR usage: SET <key> <value>")
+			return
+		}
+		k, err1 := strconv.ParseUint(args[0], 10, 64)
+		v, err2 := strconv.ParseUint(args[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintln(w, "ERR keys and values are uint64")
+			return
+		}
+		if err := s.idx.Insert(k, v); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK")
+	case "GET":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "ERR usage: GET <key>")
+			return
+		}
+		k, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			fmt.Fprintln(w, "ERR keys are uint64")
+			return
+		}
+		if v, ok := s.idx.Get(k); ok {
+			fmt.Fprintf(w, "VALUE %d\n", v)
+		} else {
+			fmt.Fprintln(w, "NIL")
+		}
+	case "DEL":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "ERR usage: DEL <key>")
+			return
+		}
+		k, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			fmt.Fprintln(w, "ERR keys are uint64")
+			return
+		}
+		if s.idx.Remove(k) {
+			fmt.Fprintln(w, "OK")
+		} else {
+			fmt.Fprintln(w, "NIL")
+		}
+	case "SCAN":
+		if len(args) != 2 {
+			fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
+			return
+		}
+		start, err1 := strconv.ParseUint(args[0], 10, 64)
+		n, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil || n < 0 {
+			fmt.Fprintln(w, "ERR bad arguments")
+			return
+		}
+		if n > 10000 {
+			n = 10000 // per-request cap
+		}
+		s.idx.Scan(start, n, func(k, v uint64) bool {
+			fmt.Fprintf(w, "PAIR %d %d\n", k, v)
+			return true
+		})
+		fmt.Fprintln(w, "END")
+	case "LEN":
+		fmt.Fprintf(w, "VALUE %d\n", s.idx.Len())
+	case "STATS":
+		st := s.idx.StatsMap()
+		keys := make([]string, 0, len(st))
+		for k := range st {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "STAT %s %d\n", k, st[k])
+		}
+		fmt.Fprintln(w, "END")
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+}

@@ -1,0 +1,108 @@
+// Command altgen generates and inspects the synthetic datasets that stand
+// in for the paper's SOSD data (fb, libio, osm, longlat).
+//
+// Usage:
+//
+//	altgen -dataset osm -n 1000000 -stats          # CDF/segment statistics
+//	altgen -dataset fb -n 1000000 -o fb.bin        # write little-endian u64s
+//	altgen -dataset libio -n 100000 -models        # segments per algorithm/eps
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"altindex/internal/dataset"
+	"altindex/internal/gpl"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "osm", "fb|libio|osm|longlat|uniform|sequential")
+		n      = flag.Int("n", 1_000_000, "number of keys")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		out    = flag.String("o", "", "write keys as little-endian uint64 to this file")
+		stats  = flag.Bool("stats", false, "print distribution statistics")
+		models = flag.Bool("models", false, "print segment counts per algorithm and error bound")
+	)
+	flag.Parse()
+
+	keys := dataset.Generate(dataset.Name(*name), *n, *seed)
+	fmt.Printf("dataset=%s n=%d seed=%d min=%d max=%d\n",
+		*name, len(keys), *seed, keys[0], keys[len(keys)-1])
+
+	if *stats {
+		printStats(keys)
+	}
+	if *models {
+		printModels(keys)
+	}
+	if *out != "" {
+		if err := writeKeys(*out, keys); err != nil {
+			fmt.Fprintln(os.Stderr, "altgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d keys to %s\n", len(keys), *out)
+	}
+}
+
+func printStats(keys []uint64) {
+	// Gap distribution percentiles characterise local fitability.
+	gaps := make([]uint64, 0, len(keys)-1)
+	var sum float64
+	for i := 1; i < len(keys); i++ {
+		g := keys[i] - keys[i-1]
+		gaps = append(gaps, g)
+		sum += float64(g)
+	}
+	sortU64(gaps)
+	q := func(p float64) uint64 { return gaps[int(p*float64(len(gaps)-1))] }
+	fmt.Printf("gaps: mean=%.1f p50=%d p90=%d p99=%d p999=%d max=%d\n",
+		sum/float64(len(gaps)), q(.5), q(.9), q(.99), q(.999), gaps[len(gaps)-1])
+}
+
+func printModels(keys []uint64) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "eps\tGPL\tShrinkingCone\tLPA\tGPL ms")
+	for _, eps := range []float64{32, 128, float64(len(keys)) / 1000, float64(len(keys)) / 100} {
+		t0 := time.Now()
+		g := len(gpl.Partition(keys, eps))
+		dt := time.Since(t0)
+		c := len(gpl.ShrinkingCone(keys, eps))
+		l := len(gpl.LPA(keys, eps))
+		fmt.Fprintf(tw, "%.0f\t%d\t%d\t%d\t%.1f\n", eps, g, c, l,
+			float64(dt.Microseconds())/1e3)
+	}
+	tw.Flush()
+}
+
+func writeKeys(path string, keys []uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	var buf [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(buf[:], k)
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func sortU64(a []uint64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

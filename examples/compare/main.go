@@ -1,0 +1,55 @@
+// compare runs a side-by-side mini-benchmark of all six indexes (ALT-index
+// and the paper's five baselines) on one dataset and workload — a compact
+// version of the paper's Fig 7 for trying the library out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"altindex/internal/bench"
+	"altindex/internal/dataset"
+	"altindex/internal/workload"
+)
+
+func main() {
+	var (
+		ds      = flag.String("dataset", "osm", "fb|libio|osm|longlat")
+		mixName = flag.String("mix", "balanced", "read-only|read-heavy|balanced|write-heavy|write-only|scan")
+		keys    = flag.Int("keys", 1_000_000, "dataset size")
+		ops     = flag.Int("ops", 500_000, "operations")
+		threads = flag.Int("threads", 0, "goroutines (default GOMAXPROCS, max 32)")
+	)
+	flag.Parse()
+
+	var mix workload.Mix
+	for _, m := range append(workload.Mixes(), workload.ScanOnly) {
+		if m.Name == *mixName {
+			mix = m
+		}
+	}
+	if mix.Name == "" {
+		fmt.Fprintf(os.Stderr, "compare: unknown mix %q\n", *mixName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("dataset=%s mix=%s keys=%d ops=%d\n", *ds, mix.Name, *keys, *ops)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Index\tMops/s\tP50us\tP99us\tP99.9us\tMem MB\tBuild ms")
+	for _, f := range bench.All() {
+		r := bench.Run(f.New, bench.Config{
+			Dataset: dataset.Name(*ds), Keys: *keys, Mix: mix,
+			Threads: *threads, Ops: *ops, Seed: 1,
+		})
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f\n",
+			f.Name, r.Mops,
+			float64(r.P50.Nanoseconds())/1e3,
+			float64(r.P99.Nanoseconds())/1e3,
+			float64(r.P999.Nanoseconds())/1e3,
+			float64(r.Mem)/1e6,
+			float64(r.BuildTime.Microseconds())/1e3)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,104 @@
+// kvcache demonstrates the workload the paper's introduction motivates: a
+// read-mostly concurrent key-value cache with zipfian hot keys (session
+// store / object cache pattern). N worker goroutines run an 80/20 read/
+// write mix against one shared ALT-index while a reporter prints live
+// throughput and layer statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"altindex"
+	"altindex/internal/dataset"
+	"altindex/internal/workload"
+	"altindex/internal/xrand"
+)
+
+func main() {
+	var (
+		n       = flag.Int("keys", 1_000_000, "cached objects")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent clients")
+		dur     = flag.Duration("duration", 3*time.Second, "run time")
+		theta   = flag.Float64("theta", 0.99, "zipfian skew of reads")
+	)
+	flag.Parse()
+
+	// Seed the cache with fb-like object IDs.
+	keys := dataset.Generate(dataset.FB, *n, 42)
+	idx := altindex.NewDefault()
+	if err := idx.Bulkload(dataset.Pairs(keys)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache seeded: %d objects, %d workers, θ=%.2f\n", idx.Len(), *workers, *theta)
+
+	zipf := xrand.NewZipf(uint64(len(keys)), *theta)
+	var ops, misses atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := xrand.New(uint64(w) + 1)
+			nextFresh := keys[len(keys)-1] + uint64(w) + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 512; i++ {
+					if r.Intn(100) < 80 { // read a hot object
+						k := keys[zipf.Rank(r)]
+						if _, ok := idx.Get(k); !ok {
+							misses.Add(1)
+						}
+					} else { // write: refresh or add an object
+						if r.Intn(2) == 0 {
+							k := keys[zipf.Rank(r)]
+							idx.Update(k, r.Next())
+						} else {
+							_ = idx.Insert(nextFresh, r.Next())
+							nextFresh += uint64(*workers)
+						}
+					}
+				}
+				ops.Add(512)
+			}
+		}(w)
+	}
+
+	// Live reporting, once a second.
+	t0 := time.Now()
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	var last int64
+	for elapsed := time.Duration(0); elapsed < *dur; {
+		<-ticker.C
+		elapsed = time.Since(t0)
+		cur := ops.Load()
+		st := idx.StatsMap()
+		fmt.Printf("  %5.1fs  %6.2f Mops/s  size=%d  learned=%d art=%d retrains=%d\n",
+			elapsed.Seconds(), float64(cur-last)/1e6,
+			idx.Len(), st["learned_keys"], st["art_keys"], st["retrains"])
+		last = cur
+	}
+	close(stop)
+	wg.Wait()
+
+	total := ops.Load()
+	fmt.Printf("done: %.1fM ops in %v (%.2f Mops/s), %d misses, %.1f MB resident\n",
+		float64(total)/1e6, dur.Round(time.Millisecond),
+		float64(total)/dur.Seconds()/1e6, misses.Load(),
+		float64(idx.MemoryUsage())/1e6)
+
+	mix := workload.ReadHeavy
+	fmt.Printf("(this is the paper's %q mix shape: %d%% reads / %d%% writes)\n",
+		mix.Name, mix.Get, mix.Insert)
+}

@@ -1,0 +1,3 @@
+module altindex
+
+go 1.23

@@ -1,0 +1,251 @@
+// Package alex reimplements ALEX+ — the concurrent variant of ALEX (Ding
+// et al., SIGMOD 2020) used as a baseline in the ALT-index paper — with the
+// behaviours that drive its benchmark profile:
+//
+//   - model-based search in gapped arrays corrected by exponential search
+//     (prediction error cost grows with dataset hardness),
+//   - in-place model-based inserts with *data shifting* toward the nearest
+//     gap (the tail-latency source the paper's Table I calls out),
+//   - node splits at a density threshold with a copy-on-write directory
+//     (structure modifications contend under write-heavy load),
+//   - an optimistic per-node seqlock for reads (the ALEX+ scheme).
+//
+// Keys inside a node live in a gapped sorted array; an empty slot mirrors
+// its nearest occupied left neighbour so the whole array stays
+// non-decreasing and exponential/binary search works directly on slots.
+package alex
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	targetNodeKeys = 4096 // bulkload keys per data node
+	maxDensity     = 0.8  // split threshold
+	minNodeSlots   = 16
+)
+
+// slotsFor sizes a node's gapped array: 2.5 slots per key, so that a node
+// created with k keys splits at 2k (0.8 density) into halves of k keys —
+// size-preserving splits. Anything below maxDensity*expansion = 2 would
+// make node sizes decay geometrically across split generations.
+func slotsFor(keys int) int {
+	s := keys * 5 / 2
+	if s < minNodeSlots {
+		s = minNodeSlots
+	}
+	return s
+}
+
+// Index is a concurrent ALEX+-style learned index.
+type Index struct {
+	dir  atomic.Pointer[directory]
+	dmu  sync.Mutex // guards directory copy-on-write
+	size atomic.Int64
+}
+
+// directory maps key ranges to data nodes: node i owns [firsts[i],
+// firsts[i+1]). Immutable; replaced on splits.
+type directory struct {
+	firsts []uint64
+	nodes  []*dnode
+}
+
+func (d *directory) find(key uint64) (*dnode, int) {
+	lo, hi := 0, len(d.firsts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.firsts[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo - 1
+	if i < 0 {
+		i = 0
+	}
+	return d.nodes[i], i
+}
+
+// dnode is a gapped-array data node with a linear model.
+type dnode struct {
+	mu  sync.Mutex    // writer lock
+	ver atomic.Uint64 // seqlock: odd while a writer mutates
+
+	slope float64
+	inter float64
+	base  uint64 // model origin (first bulk key)
+
+	keys []atomic.Uint64
+	vals []atomic.Uint64
+	occ  []atomic.Uint64 // occupancy bitmap, 64 slots per word
+	num  atomic.Int64    // occupied count
+}
+
+// New returns an empty index.
+func New() *Index {
+	ix := &Index{}
+	d := &directory{firsts: []uint64{0}, nodes: []*dnode{newNode(nil, nil, minNodeSlots)}}
+	ix.dir.Store(d)
+	return ix
+}
+
+// Name implements index.Concurrent.
+func (ix *Index) Name() string { return "ALEX+" }
+
+// Len returns the number of live keys.
+func (ix *Index) Len() int { return int(ix.size.Load()) }
+
+func newNode(keys, vals []uint64, slots int) *dnode {
+	if slots < minNodeSlots {
+		slots = minNodeSlots
+	}
+	n := &dnode{
+		keys: make([]atomic.Uint64, slots),
+		vals: make([]atomic.Uint64, slots),
+		occ:  make([]atomic.Uint64, (slots+63)/64),
+	}
+	if len(keys) == 0 {
+		n.slope = 1
+		return n
+	}
+	// Spread keys evenly through the gapped array (ALEX's bulk layout),
+	// then fit the model key -> slot by least squares.
+	stride := float64(slots) / float64(len(keys))
+	var sx, sy, sxx, sxy float64
+	prevSlot := -1
+	for i, k := range keys {
+		s := int(float64(i) * stride)
+		if s <= prevSlot {
+			s = prevSlot + 1
+		}
+		if s >= slots {
+			s = slots - 1
+		}
+		n.keys[s].Store(k)
+		n.vals[s].Store(vals[i])
+		n.setOcc(s)
+		// Mirror the key into the preceding gap run.
+		for g := prevSlot + 1; g < s; g++ {
+			if prevSlot >= 0 {
+				n.keys[g].Store(n.keys[prevSlot].Load())
+			}
+		}
+		prevSlot = s
+		x := float64(k - keys[0])
+		sx += x
+		sy += float64(s)
+		sxx += x * x
+		sxy += x * float64(s)
+	}
+	for g := prevSlot + 1; g < slots; g++ {
+		n.keys[g].Store(n.keys[prevSlot].Load())
+	}
+	fn := float64(len(keys))
+	den := fn*sxx - sx*sx
+	if den != 0 {
+		n.slope = (fn*sxy - sx*sy) / den
+		n.inter = (sy - n.slope*sx) / fn
+	} else {
+		n.slope = 0
+		n.inter = float64(slots) / 2
+	}
+	n.base = keys[0]
+	n.num.Store(int64(len(keys)))
+	return n
+}
+
+func (n *dnode) setOcc(i int) { n.occ[i>>6].Store(n.occ[i>>6].Load() | 1<<(uint(i)&63)) }
+func (n *dnode) clrOcc(i int) { n.occ[i>>6].Store(n.occ[i>>6].Load() &^ (1 << (uint(i) & 63))) }
+func (n *dnode) isOcc(i int) bool {
+	return n.occ[i>>6].Load()&(1<<(uint(i)&63)) != 0
+}
+
+func (n *dnode) slots() int { return len(n.keys) }
+
+func (n *dnode) predict(key uint64) int {
+	p := int(n.slope*float64(key-n.base) + n.inter)
+	if key < n.base {
+		p = 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p >= n.slots() {
+		p = n.slots() - 1
+	}
+	return p
+}
+
+// lowerBound returns the smallest slot whose key is >= key, located by
+// exponential search around the model's prediction — the correction step
+// whose cost grows with prediction error.
+func (n *dnode) lowerBound(key uint64) int {
+	slots := n.slots()
+	if slots == 0 {
+		return 0
+	}
+	pos := n.predict(key)
+	lo, hi := 0, slots
+	if n.keys[pos].Load() < key {
+		step := 1
+		lo = pos + 1
+		for lo < slots && n.keys[lo].Load() < key {
+			pos = lo
+			lo = pos + step
+			step <<= 1
+		}
+		if lo > slots {
+			lo = slots
+		}
+		hi = lo
+		lo = pos
+	} else {
+		step := 1
+		hi = pos
+		for hi > 0 && n.keys[hi-1].Load() >= key {
+			next := hi - step
+			if next < 0 {
+				next = 0
+			}
+			hi = next
+			step <<= 1
+		}
+		lo = hi
+		hi = pos + 1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid].Load() < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findExact returns the occupied slot holding key, or -1. Empty slots can
+// mirror an equal key on either side (depending on past shift direction),
+// so the scan walks the run of equal-valued slots looking for the occupied
+// one.
+func (n *dnode) findExact(key uint64) int {
+	pos := n.lowerBound(key)
+	for ; pos < n.slots() && n.keys[pos].Load() == key; pos++ {
+		if n.isOcc(pos) {
+			return pos
+		}
+	}
+	return -1
+}
+
+// seqlock helpers.
+func (n *dnode) readVersion() (uint64, bool) {
+	v := n.ver.Load()
+	return v, v&1 == 0
+}
+func (n *dnode) validate(v uint64) bool { return n.ver.Load() == v }
+func (n *dnode) beginWrite()            { n.mu.Lock(); n.ver.Add(1) }
+func (n *dnode) endWrite()              { n.ver.Add(1); n.mu.Unlock() }

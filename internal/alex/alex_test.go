@@ -1,0 +1,43 @@
+package alex
+
+import (
+	"testing"
+
+	"altindex/internal/index"
+	"altindex/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func() index.Concurrent { return New() })
+}
+
+func TestSplitsHappen(t *testing.T) {
+	ix := New()
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 10
+	}
+	pairs := make([]index.KV, len(keys))
+	for i, k := range keys {
+		pairs[i] = index.KV{Key: k, Value: k}
+	}
+	if err := ix.Bulkload(pairs); err != nil {
+		t.Fatal(err)
+	}
+	before := ix.StatsMap()["nodes"]
+	// Dense inserts into one node force data shifting and then splits
+	// (the node splits once it passes maxDensity of its 2.5x slots).
+	for k := uint64(5); k < 60000; k += 10 {
+		if err := ix.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := ix.StatsMap()["nodes"]; after <= before {
+		t.Fatalf("no splits: %d -> %d nodes", before, after)
+	}
+	for k := uint64(5); k < 60000; k += 10 {
+		if v, ok := ix.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d)=(%d,%v) after splits", k, v, ok)
+		}
+	}
+}

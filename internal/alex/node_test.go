@@ -1,0 +1,167 @@
+package alex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// newTestNode builds a node from n evenly spaced keys.
+func newTestNode(n, slots int) *dnode {
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 100
+		vals[i] = keys[i] + 1
+	}
+	return newNode(keys, vals, slots)
+}
+
+// checkNonDecreasing asserts the gapped array's core search invariant.
+func checkNonDecreasing(t *testing.T, n *dnode) {
+	t.Helper()
+	var prev uint64
+	for i := 0; i < n.slots(); i++ {
+		k := n.keys[i].Load()
+		if k < prev {
+			t.Fatalf("array decreasing at slot %d: %d < %d", i, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestNewNodeLayout(t *testing.T) {
+	n := newTestNode(100, 200)
+	if got := int(n.num.Load()); got != 100 {
+		t.Fatalf("num=%d", got)
+	}
+	checkNonDecreasing(t, n)
+	// All keys findable, all gap mirrors skippable.
+	for i := 1; i <= 100; i++ {
+		k := uint64(i) * 100
+		pos := n.findExact(k)
+		if pos < 0 || n.keys[pos].Load() != k || !n.isOcc(pos) {
+			t.Fatalf("findExact(%d) = %d", k, pos)
+		}
+		if n.findExact(k+1) >= 0 {
+			t.Fatalf("phantom key %d", k+1)
+		}
+	}
+}
+
+func TestInsertShiftsKeepInvariant(t *testing.T) {
+	n := newTestNode(50, 200)
+	r := rand.New(rand.NewSource(1))
+	inserted := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		k := uint64(r.Intn(5100)) + 1
+		for inserted[k] || k%100 == 0 {
+			k = uint64(r.Intn(5100)) + 1
+		}
+		if !n.insertLocked(k, k) {
+			t.Fatalf("insertLocked(%d) reported upsert", k)
+		}
+		inserted[k] = true
+		checkNonDecreasing(t, n)
+	}
+	for k := range inserted {
+		if pos := n.findExact(k); pos < 0 {
+			t.Fatalf("inserted key %d lost", k)
+		}
+	}
+	// Original keys still present.
+	for i := 1; i <= 50; i++ {
+		if n.findExact(uint64(i)*100) < 0 {
+			t.Fatalf("original key %d lost", i*100)
+		}
+	}
+}
+
+func TestInsertUpsert(t *testing.T) {
+	n := newTestNode(10, 40)
+	if n.insertLocked(500, 1) {
+		t.Fatal("upsert of existing key reported new")
+	}
+	if pos := n.findExact(500); n.vals[pos].Load() != 1 {
+		t.Fatal("upsert value lost")
+	}
+}
+
+func TestRemoveLeavesMirror(t *testing.T) {
+	n := newTestNode(20, 60)
+	pos := n.findExact(1000)
+	n.clrOcc(pos)
+	n.num.Add(-1)
+	checkNonDecreasing(t, n)
+	if n.findExact(1000) >= 0 {
+		t.Fatal("removed key still found")
+	}
+	// Neighbours unaffected.
+	if n.findExact(900) < 0 || n.findExact(1100) < 0 {
+		t.Fatal("neighbours lost after removal")
+	}
+}
+
+func TestLowerBoundAgainstReference(t *testing.T) {
+	n := newTestNode(200, 500)
+	for probe := uint64(0); probe < 21000; probe += 37 {
+		got := n.lowerBound(probe)
+		// Reference: linear scan for first slot >= probe.
+		want := n.slots()
+		for i := 0; i < n.slots(); i++ {
+			if n.keys[i].Load() >= probe {
+				want = i
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("lowerBound(%d) = %d, want %d", probe, got, want)
+		}
+	}
+}
+
+func TestDirectoryFind(t *testing.T) {
+	mk := func() *dnode { return newTestNode(4, 16) }
+	d := &directory{
+		firsts: []uint64{0, 500, 5000},
+		nodes:  []*dnode{mk(), mk(), mk()},
+	}
+	for _, c := range []struct {
+		key  uint64
+		want int
+	}{{0, 0}, {499, 0}, {500, 1}, {4999, 1}, {5000, 2}, {^uint64(0), 2}} {
+		if _, i := d.find(c.key); i != c.want {
+			t.Fatalf("find(%d)=%d want %d", c.key, i, c.want)
+		}
+	}
+}
+
+func TestQuickInsertSearch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := 20 + r.Intn(100)
+		n := newTestNode(base, base*4)
+		ref := map[uint64]uint64{}
+		for i := 1; i <= base; i++ {
+			ref[uint64(i)*100] = uint64(i)*100 + 1
+		}
+		for i := 0; i < base*2; i++ {
+			k := uint64(r.Intn(base*110)) + 1
+			if float64(n.num.Load()+1) > maxDensity*float64(n.slots()) {
+				break
+			}
+			n.insertLocked(k, k*2)
+			ref[k] = k * 2
+		}
+		for k, v := range ref {
+			pos := n.findExact(k)
+			if pos < 0 || n.vals[pos].Load() != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

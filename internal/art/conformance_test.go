@@ -1,0 +1,13 @@
+package art_test
+
+import (
+	"testing"
+
+	"altindex/internal/art"
+	"altindex/internal/index"
+	"altindex/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func() index.Concurrent { return art.New(nil) })
+}

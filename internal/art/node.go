@@ -1,0 +1,461 @@
+// Package art implements an Adaptive Radix Tree (Leis et al., ICDE 2013)
+// over fixed-width 8-byte keys with the optimistic lock coupling
+// concurrency scheme of "The ART of Practical Synchronization" (DaMoN
+// 2016) — the same synchronization the ALT-index paper adopts for its
+// ART-OPT layer (§III-E).
+//
+// Beyond the baseline tree, the package provides the extensions ALT-index
+// needs: a per-node matched-prefix level (the paper's match_level), lookups
+// that start from an intermediate node (fast-pointer entry points), a
+// lowest-common-ancestor walk used to build fast pointers, and
+// structure-modification hooks that fire when a node is replaced (node
+// expansion, case ②) or re-parented (prefix extraction, case ①) so the
+// fast pointer buffer can repair its entries.
+//
+// Because optimistic readers examine fields that writers mutate under the
+// node lock, every shared mutable field is stored in atomic words (byte
+// arrays are packed 8-per-uint64); readers then validate the node version.
+// This keeps the structure correct under the Go memory model and clean
+// under the race detector.
+package art
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Node kinds. kindLeaf nodes carry the full key and value; inner kinds
+// follow the classic ART node sizing.
+const (
+	kindLeaf uint8 = iota
+	kind4
+	kind16
+	kind48
+	kind256
+)
+
+// Node is an ART node. Mutations happen under the node's optimistic version
+// lock; readers validate the version after reading. The type is exported
+// (opaquely) because ALT-index's fast pointer buffer references
+// intermediate nodes.
+type Node struct {
+	// version encodes the optimistic lock: bit 0 = obsolete,
+	// bit 1 = locked, bits 2.. = update counter.
+	version atomic.Uint64
+
+	// meta packs prefixLen (bits 0-7), depth (bits 8-15) and nChildren
+	// (bits 16-31). depth is the number of key bytes consumed before
+	// this node's prefix begins — the paper's match_level.
+	meta atomic.Uint64
+
+	// prefixW packs up to 8 compressed-path bytes; byte i lives at bits
+	// 8i..8i+7.
+	prefixW atomic.Uint64
+
+	// pathHi holds the Depth() key bytes consumed on the path from the
+	// root to this node (high-aligned). It lets fast-pointer entry
+	// points verify in O(1) that a key lies in this subtree.
+	pathHi atomic.Uint64
+
+	kind uint8 // immutable after construction
+
+	// fpIndex is the fast-pointer-buffer slot referencing this node, or
+	// -1. Maintained by the owning tree's SMO hooks.
+	fpIndex atomic.Int32
+
+	// Leaf payload (kindLeaf only). key is immutable.
+	key   uint64
+	value atomic.Uint64
+
+	// Inner-node child storage. Layout by kind:
+	//   kind4/16:  keyAt(0..n-1) sorted child bytes, children parallel.
+	//   kind48:    keyAt(b) for b in 0..255 is 0 when empty, else
+	//              slot+1 into children (48 slots).
+	//   kind256:   children indexed directly by key byte.
+	keysW    []atomic.Uint64
+	children []atomic.Pointer[Node]
+}
+
+// --- packed metadata -----------------------------------------------------
+
+func (n *Node) loadMeta() (prefixLen, depth, nChildren int) {
+	m := n.meta.Load()
+	return int(m & 0xff), int(m >> 8 & 0xff), int(m >> 16 & 0xffff)
+}
+
+func (n *Node) storeMeta(prefixLen, depth, nChildren int) {
+	n.meta.Store(uint64(prefixLen) | uint64(depth)<<8 | uint64(nChildren)<<16)
+}
+
+func (n *Node) numChildren() int { return int(n.meta.Load() >> 16 & 0xffff) }
+
+func (n *Node) setNumChildren(c int) {
+	m := n.meta.Load()
+	n.meta.Store(m&0xffff | uint64(c)<<16)
+}
+
+// Depth returns the node's match_level: the number of key bytes already
+// consumed when a lookup reaches this node.
+func (n *Node) Depth() int { return int(n.meta.Load() >> 8 & 0xff) }
+
+// maskFor returns a mask selecting the high `depth` bytes of a key.
+func maskFor(depth int) uint64 {
+	switch {
+	case depth <= 0:
+		return 0
+	case depth >= 8:
+		return ^uint64(0)
+	default:
+		return ^uint64(0) << (64 - 8*depth)
+	}
+}
+
+// coversKey reports whether key shares the node's root path, i.e. the key
+// lies inside this node's subtree. Read under a version snapshot for a
+// stable answer.
+func (n *Node) coversKey(key uint64) bool {
+	depth := n.Depth()
+	if depth == 0 {
+		return true
+	}
+	m := maskFor(depth)
+	return key&m == n.pathHi.Load()&m
+}
+
+// Leaf reports whether n is a leaf and, if so, its key.
+func (n *Node) Leaf() (uint64, bool) { return n.key, n.kind == kindLeaf }
+
+// FPIndex returns the fast-pointer-buffer slot referencing this node, or -1.
+func (n *Node) FPIndex() int32 { return n.fpIndex.Load() }
+
+// SetFPIndex records the fast-pointer-buffer slot referencing this node.
+func (n *Node) SetFPIndex(i int32) { n.fpIndex.Store(i) }
+
+func newLeaf(key, value uint64) *Node {
+	n := &Node{kind: kindLeaf, key: key}
+	n.value.Store(value)
+	n.fpIndex.Store(-1)
+	return n
+}
+
+func newInner(kind uint8, depth int) *Node {
+	n := &Node{kind: kind}
+	n.fpIndex.Store(-1)
+	n.storeMeta(0, depth, 0)
+	switch kind {
+	case kind4:
+		n.keysW = make([]atomic.Uint64, 1)
+		n.children = make([]atomic.Pointer[Node], 4)
+	case kind16:
+		n.keysW = make([]atomic.Uint64, 2)
+		n.children = make([]atomic.Pointer[Node], 16)
+	case kind48:
+		n.keysW = make([]atomic.Uint64, 32)
+		n.children = make([]atomic.Pointer[Node], 48)
+	case kind256:
+		n.children = make([]atomic.Pointer[Node], 256)
+	}
+	return n
+}
+
+// keyAt returns packed key byte i. Safe for optimistic readers.
+func (n *Node) keyAt(i int) byte {
+	return byte(n.keysW[i>>3].Load() >> (8 * (i & 7)))
+}
+
+// setKeyAt stores packed key byte i. Caller holds the write lock.
+func (n *Node) setKeyAt(i int, b byte) {
+	idx, sh := i>>3, 8*(i&7)
+	w := n.keysW[idx].Load()
+	n.keysW[idx].Store(w&^(uint64(0xff)<<sh) | uint64(b)<<sh)
+}
+
+// --- optimistic version lock ---------------------------------------------
+
+const (
+	obsoleteBit = uint64(1)
+	lockBit     = uint64(2)
+)
+
+func isLocked(v uint64) bool   { return v&lockBit != 0 }
+func isObsolete(v uint64) bool { return v&obsoleteBit != 0 }
+
+// readLockOrRestart returns a stable version snapshot, spinning past
+// writers. ok is false if the node is obsolete (caller must restart).
+func (n *Node) readLockOrRestart() (v uint64, ok bool) {
+	for spins := 0; ; spins++ {
+		v = n.version.Load()
+		if isLocked(v) {
+			spinWait(spins)
+			continue
+		}
+		if isObsolete(v) {
+			return 0, false
+		}
+		return v, true
+	}
+}
+
+// checkOrRestart revalidates a version snapshot.
+func (n *Node) checkOrRestart(v uint64) bool { return n.version.Load() == v }
+
+// upgradeToWriteLockOrRestart atomically acquires the write lock iff the
+// version still equals v.
+func (n *Node) upgradeToWriteLockOrRestart(v uint64) bool {
+	return n.version.CompareAndSwap(v, v+lockBit)
+}
+
+// writeUnlock releases the write lock, bumping the version.
+func (n *Node) writeUnlock() { n.version.Add(lockBit) }
+
+// writeUnlockObsolete releases the lock and marks the node obsolete (it has
+// been replaced; readers holding a reference must restart).
+func (n *Node) writeUnlockObsolete() { n.version.Add(lockBit + obsoleteBit) }
+
+func spinWait(spins int) {
+	if spins > 16 {
+		osYield()
+		return
+	}
+	for i := 0; i < 4<<uint(spins&7); i++ {
+		_ = spinSink.Load()
+	}
+}
+
+var spinSink atomic.Uint64
+
+// --- child access (caller holds a version snapshot or the lock) -----------
+
+// keyByte returns the depth-th big-endian byte of k. Depths past the key
+// width return 0; that can only be asked for under a torn optimistic read,
+// which the caller's version validation will reject.
+func keyByte(k uint64, depth int) byte {
+	if depth < 0 || depth > 7 {
+		return 0
+	}
+	return byte(k >> (56 - 8*depth))
+}
+
+// findChild returns the child for byte b, or nil. Safe to call during
+// optimistic reads (caller validates the version afterwards).
+func (n *Node) findChild(b byte) *Node {
+	switch n.kind {
+	case kind4, kind16:
+		cnt := n.numChildren()
+		if cnt > len(n.children) {
+			cnt = len(n.children)
+		}
+		for i := 0; i < cnt; i++ {
+			if n.keyAt(i) == b {
+				return n.children[i].Load()
+			}
+		}
+	case kind48:
+		if idx := int(n.keyAt(int(b))); idx != 0 && idx <= len(n.children) {
+			return n.children[idx-1].Load()
+		}
+	case kind256:
+		return n.children[b].Load()
+	}
+	return nil
+}
+
+// full reports whether an insert requires growing the node.
+func (n *Node) full() bool {
+	switch n.kind {
+	case kind4:
+		return n.numChildren() >= 4
+	case kind16:
+		return n.numChildren() >= 16
+	case kind48:
+		return n.numChildren() >= 48
+	default:
+		return false
+	}
+}
+
+// addChild inserts (b -> child). Caller holds the write lock and has
+// ensured capacity. kind4/16 keep keys sorted so scans are ordered.
+func (n *Node) addChild(b byte, child *Node) {
+	switch n.kind {
+	case kind4, kind16:
+		cnt := n.numChildren()
+		pos := 0
+		for pos < cnt && n.keyAt(pos) < b {
+			pos++
+		}
+		for i := cnt; i > pos; i-- {
+			n.setKeyAt(i, n.keyAt(i-1))
+			n.children[i].Store(n.children[i-1].Load())
+		}
+		n.setKeyAt(pos, b)
+		n.children[pos].Store(child)
+		n.setNumChildren(cnt + 1)
+	case kind48:
+		for slot := range n.children {
+			if n.children[slot].Load() == nil {
+				n.children[slot].Store(child)
+				n.setKeyAt(int(b), byte(slot+1))
+				n.setNumChildren(n.numChildren() + 1)
+				return
+			}
+		}
+		panic("art: addChild on full node48")
+	case kind256:
+		n.children[b].Store(child)
+		n.setNumChildren(n.numChildren() + 1)
+	default:
+		panic("art: addChild on leaf")
+	}
+}
+
+// replaceChild overwrites the child for byte b. Caller holds the write lock.
+func (n *Node) replaceChild(b byte, child *Node) {
+	switch n.kind {
+	case kind4, kind16:
+		cnt := n.numChildren()
+		for i := 0; i < cnt; i++ {
+			if n.keyAt(i) == b {
+				n.children[i].Store(child)
+				return
+			}
+		}
+		panic("art: replaceChild missing byte")
+	case kind48:
+		idx := int(n.keyAt(int(b)))
+		if idx == 0 {
+			panic("art: replaceChild missing byte")
+		}
+		n.children[idx-1].Store(child)
+	case kind256:
+		n.children[b].Store(child)
+	default:
+		panic("art: replaceChild on leaf")
+	}
+}
+
+// removeChild deletes the entry for byte b. Caller holds the write lock.
+func (n *Node) removeChild(b byte) {
+	switch n.kind {
+	case kind4, kind16:
+		cnt := n.numChildren()
+		for i := 0; i < cnt; i++ {
+			if n.keyAt(i) == b {
+				for j := i; j < cnt-1; j++ {
+					n.setKeyAt(j, n.keyAt(j+1))
+					n.children[j].Store(n.children[j+1].Load())
+				}
+				n.children[cnt-1].Store(nil)
+				n.setNumChildren(cnt - 1)
+				return
+			}
+		}
+	case kind48:
+		if idx := int(n.keyAt(int(b))); idx != 0 {
+			n.children[idx-1].Store(nil)
+			n.setKeyAt(int(b), 0)
+			n.setNumChildren(n.numChildren() - 1)
+		}
+	case kind256:
+		if n.children[b].Load() != nil {
+			n.children[b].Store(nil)
+			n.setNumChildren(n.numChildren() - 1)
+		}
+	}
+}
+
+// grow returns a copy of n with the next larger kind. Caller holds n's
+// write lock; the copy is private until published.
+func (n *Node) grow() *Node {
+	pl, depth, _ := n.loadMeta()
+	var big *Node
+	switch n.kind {
+	case kind4:
+		big = newInner(kind16, depth)
+	case kind16:
+		big = newInner(kind48, depth)
+	case kind48:
+		big = newInner(kind256, depth)
+	default:
+		panic("art: grow on max-size node")
+	}
+	big.prefixW.Store(n.prefixW.Load())
+	big.pathHi.Store(n.pathHi.Load())
+	switch n.kind {
+	case kind4, kind16:
+		for i := 0; i < n.numChildren(); i++ {
+			big.addChild(n.keyAt(i), n.children[i].Load())
+		}
+	case kind48:
+		for b := 0; b < 256; b++ {
+			if idx := int(n.keyAt(b)); idx != 0 {
+				big.addChild(byte(b), n.children[idx-1].Load())
+			}
+		}
+	}
+	// addChild maintained nChildren; restore prefixLen/depth.
+	big.storeMeta(pl, depth, big.numChildren())
+	return big
+}
+
+// shrinkThreshold returns the child count at which the node should
+// downgrade to the next smaller kind (with hysteresis below the smaller
+// kind's capacity so borderline nodes don't oscillate), or 0 if the node
+// never shrinks.
+func (n *Node) shrinkThreshold() int {
+	switch n.kind {
+	case kind16:
+		return 3 // fits node4 with slack
+	case kind48:
+		return 12 // fits node16 with slack
+	case kind256:
+		return 36 // fits node48 with slack
+	default:
+		return 0
+	}
+}
+
+// shrink returns a copy of n with the next smaller kind. Caller holds n's
+// write lock and has checked numChildren() fits.
+func (n *Node) shrink() *Node {
+	pl, depth, _ := n.loadMeta()
+	var small *Node
+	switch n.kind {
+	case kind16:
+		small = newInner(kind4, depth)
+	case kind48:
+		small = newInner(kind16, depth)
+	case kind256:
+		small = newInner(kind48, depth)
+	default:
+		panic("art: shrink on min-size node")
+	}
+	small.prefixW.Store(n.prefixW.Load())
+	small.pathHi.Store(n.pathHi.Load())
+	switch n.kind {
+	case kind16:
+		for i := 0; i < n.numChildren(); i++ {
+			small.addChild(n.keyAt(i), n.children[i].Load())
+		}
+	case kind48:
+		for b := 0; b < 256; b++ {
+			if idx := int(n.keyAt(b)); idx != 0 {
+				small.addChild(byte(b), n.children[idx-1].Load())
+			}
+		}
+	case kind256:
+		for b := 0; b < 256; b++ {
+			if c := n.children[b].Load(); c != nil {
+				small.addChild(byte(b), c)
+			}
+		}
+	}
+	small.storeMeta(pl, depth, small.numChildren())
+	return small
+}
+
+// byteSize approximates the node's heap footprint.
+func (n *Node) byteSize() uintptr {
+	const base = unsafe.Sizeof(Node{})
+	return base + uintptr(len(n.keysW))*8 + uintptr(len(n.children))*unsafe.Sizeof(atomic.Pointer[Node]{})
+}

@@ -1,0 +1,131 @@
+package art
+
+import "altindex/internal/index"
+
+// Scan visits up to max pairs with keys >= start in ascending key order and
+// returns the number visited. Results are collected under optimistic
+// version validation and the whole scan restarts on a conflict (bounded
+// retries, after which the best-effort result is emitted); within one
+// successful collection the result is a consistent ordered snapshot of each
+// visited node.
+func (t *Tree) Scan(start uint64, max int, fn func(uint64, uint64) bool) int {
+	return t.ScanRange(start, ^uint64(0), max, fn)
+}
+
+// ScanRange is Scan bounded above: it visits keys in [start, end]
+// (end inclusive), pruning subtrees outside the window on both sides.
+func (t *Tree) ScanRange(start, end uint64, max int, fn func(uint64, uint64) bool) int {
+	if max <= 0 || end < start {
+		return 0
+	}
+	capHint := max
+	if capHint > 128 {
+		capHint = 128
+	}
+	buf := make([]index.KV, 0, capHint)
+	for attempt := 0; attempt < 8; attempt++ {
+		buf = buf[:0]
+		if t.collect(t.root.Load(), 0, 0, start, end, max, &buf) {
+			break
+		}
+	}
+	n := 0
+	for _, kv := range buf {
+		n++
+		if !fn(kv.Key, kv.Value) {
+			break
+		}
+	}
+	return n
+}
+
+// collect appends in-order pairs >= start from n's subtree. acc carries the
+// key bytes fixed by the path so far (high-aligned); depth is the number of
+// fixed bytes. Returns false on a version conflict.
+func (t *Tree) collect(n *Node, acc uint64, depth int, start, end uint64, max int, out *[]index.KV) bool {
+	if n == nil || len(*out) >= max {
+		return true
+	}
+	if n.kind == kindLeaf {
+		k := n.key
+		val := n.value.Load()
+		if k >= start && k <= end {
+			*out = append(*out, index.KV{Key: k, Value: val})
+		}
+		return true
+	}
+	v, okv := n.readLockOrRestart()
+	if !okv {
+		return false
+	}
+	pl, _, _ := n.loadMeta()
+	pw := n.prefixW.Load()
+	for i := 0; i < pl && depth+i < 8; i++ {
+		acc |= uint64(byte(pw>>(8*i))) << (56 - 8*(depth+i))
+	}
+	depth += pl
+	// Snapshot the ordered child list before validating.
+	var bs [256]byte
+	var cs [256]*Node
+	cnt := 0
+	switch n.kind {
+	case kind4, kind16:
+		m := n.numChildren()
+		if m > len(n.children) {
+			m = len(n.children) // torn read; validation below rejects
+		}
+		for i := 0; i < m; i++ {
+			bs[cnt], cs[cnt] = n.keyAt(i), n.children[i].Load()
+			cnt++
+		}
+	case kind48:
+		for b := 0; b < 256; b++ {
+			if idx := int(n.keyAt(b)); idx != 0 && idx <= len(n.children) {
+				bs[cnt], cs[cnt] = byte(b), n.children[idx-1].Load()
+				cnt++
+			}
+		}
+	case kind256:
+		for b := 0; b < 256; b++ {
+			if c := n.children[b].Load(); c != nil {
+				bs[cnt], cs[cnt] = byte(b), c
+				cnt++
+			}
+		}
+	}
+	if !n.checkOrRestart(v) {
+		return false
+	}
+	if depth > 7 {
+		return true
+	}
+	for i := 0; i < cnt; i++ {
+		if len(*out) >= max {
+			return true
+		}
+		if cs[i] == nil {
+			continue
+		}
+		childAcc := acc | uint64(bs[i])<<(56-8*depth)
+		if subtreeMax(childAcc, depth) < start {
+			continue // whole subtree below the scan start
+		}
+		if childAcc > end {
+			break // this and all later subtrees are above the window
+		}
+		if !t.collect(cs[i], childAcc, depth+1, start, end, max, out) {
+			return false
+		}
+	}
+	return true
+}
+
+// subtreeMax returns the largest key a subtree rooted after consuming
+// depth+1 bytes (held in acc) can contain.
+func subtreeMax(acc uint64, depth int) uint64 {
+	bitsFixed := 8 * (depth + 1)
+	if bitsFixed >= 64 {
+		return acc
+	}
+	return acc | (uint64(1)<<(64-bitsFixed) - 1)
+}

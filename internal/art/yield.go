@@ -1,0 +1,8 @@
+package art
+
+import "runtime"
+
+// osYield parks the spinning goroutine briefly once a lock has been held
+// longer than a short spin; under GOMAXPROCS oversubscription this lets the
+// lock holder run.
+func osYield() { runtime.Gosched() }

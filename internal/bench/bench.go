@@ -1,0 +1,209 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the ALT-index paper's evaluation (§IV) against the six index
+// implementations in this repository. Each experiment is exposed both as a
+// function (used by cmd/altbench and the root testing.B benchmarks) and
+// prints the same rows/series the paper reports.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"altindex/internal/dataset"
+	"altindex/internal/histogram"
+	"altindex/internal/index"
+	"altindex/internal/workload"
+)
+
+// Config describes one benchmark run of one index.
+type Config struct {
+	Dataset   dataset.Name
+	Keys      int     // total dataset size
+	InitRatio float64 // bulkloaded fraction (default 0.5, §IV-A2)
+	Hot       bool    // reserve a consecutive middle range for inserts
+	HotFrac   float64 // reserved fraction for Hot (default 0.2)
+	Mix       workload.Mix
+	Theta     float64 // zipfian θ for reads (default 0.99)
+	Threads   int
+	Ops       int // total operations across all threads
+	Seed      uint64
+	// SampleEvery controls latency sampling (default every 16th op).
+	SampleEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Keys == 0 {
+		c.Keys = 2_000_000
+	}
+	if c.InitRatio == 0 {
+		c.InitRatio = 0.5
+	}
+	if c.HotFrac == 0 {
+		c.HotFrac = 0.2
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
+	}
+	if c.Threads == 0 {
+		c.Threads = defaultThreads()
+	}
+	if c.Ops == 0 {
+		c.Ops = 1_000_000
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 16
+	}
+	return c
+}
+
+func defaultThreads() int {
+	t := runtime.GOMAXPROCS(0)
+	if t > 32 {
+		t = 32
+	}
+	return t
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Index     string
+	Dataset   dataset.Name
+	Mix       string
+	Threads   int
+	Ops       int
+	Elapsed   time.Duration
+	Mops      float64
+	Mean      time.Duration
+	P50       time.Duration
+	P99       time.Duration
+	P999      time.Duration
+	BuildTime time.Duration
+	Mem       uintptr
+	Len       int
+	Stats     map[string]int64
+}
+
+// Run bulkloads a fresh index from factory and drives cfg's workload
+// against it with cfg.Threads goroutines, returning throughput, sampled
+// latency percentiles, memory and internal stats.
+func Run(factory func() index.Concurrent, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	// Collect the previous run's garbage so back-to-back comparisons of
+	// different indexes don't charge one index for another's heap.
+	runtime.GC()
+	keys := dataset.Generate(cfg.Dataset, cfg.Keys, cfg.Seed)
+	var loaded, pending []uint64
+	if cfg.Hot {
+		loaded, pending = workload.HotSplit(keys, cfg.HotFrac, cfg.Seed)
+	} else {
+		loaded, pending = workload.SplitLoad(keys, cfg.InitRatio, cfg.Seed)
+	}
+
+	ix := factory()
+	defer closeIfCloser(ix)
+	buildStart := time.Now()
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		panic(fmt.Sprintf("bench: bulkload %s: %v", ix.Name(), err))
+	}
+	build := time.Since(buildStart)
+
+	w := workload.New(workload.Config{
+		Mix:     cfg.Mix,
+		Theta:   cfg.Theta,
+		Threads: cfg.Threads,
+		Seed:    cfg.Seed + 1,
+	}, loaded, pending)
+
+	perThread := cfg.Ops / cfg.Threads
+	var hist histogram.Histogram
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for tid := 0; tid < cfg.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			s := w.Stream(tid)
+			<-start
+			runThread(ix, s, perThread, cfg.SampleEvery, &hist)
+		}(tid)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := Result{
+		Index:     ix.Name(),
+		Dataset:   cfg.Dataset,
+		Mix:       cfg.Mix.Name,
+		Threads:   cfg.Threads,
+		Ops:       perThread * cfg.Threads,
+		Elapsed:   elapsed,
+		Mops:      float64(perThread*cfg.Threads) / elapsed.Seconds() / 1e6,
+		Mean:      hist.Mean(),
+		P50:       hist.Quantile(0.50),
+		P99:       hist.Quantile(0.99),
+		P999:      hist.Quantile(0.999),
+		BuildTime: build,
+		Mem:       ix.MemoryUsage(),
+		Len:       ix.Len(),
+	}
+	if st, ok := ix.(index.Stats); ok {
+		res.Stats = st.StatsMap()
+	}
+	return res
+}
+
+func runThread(ix index.Concurrent, s *workload.Stream, ops, sampleEvery int, hist *histogram.Histogram) {
+	for i := 0; i < ops; i++ {
+		op := s.Next()
+		sampled := i%sampleEvery == 0
+		var t0 time.Time
+		if sampled {
+			t0 = time.Now()
+		}
+		switch op.Kind {
+		case workload.Get:
+			ix.Get(op.Key)
+		case workload.Insert:
+			_ = ix.Insert(op.Key, op.Value)
+		case workload.Update:
+			ix.Update(op.Key, op.Value)
+		case workload.Remove:
+			ix.Remove(op.Key)
+		case workload.Scan:
+			ix.Scan(op.Key, op.N, func(uint64, uint64) bool { return true })
+		}
+		if sampled {
+			hist.Record(time.Since(t0))
+		}
+	}
+}
+
+func closeIfCloser(ix index.Concurrent) {
+	if c, ok := ix.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
+
+// BuildOnly bulkloads a fresh index and returns it with its build time.
+// The caller must Close closeable indexes; CloseIndex helps.
+func BuildOnly(factory func() index.Concurrent, name dataset.Name, keys int, initRatio float64, seed uint64) (index.Concurrent, time.Duration) {
+	all := dataset.Generate(name, keys, seed)
+	loaded := all
+	if initRatio > 0 && initRatio < 1 {
+		loaded, _ = workload.SplitLoad(all, initRatio, seed)
+	}
+	ix := factory()
+	t0 := time.Now()
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		panic(fmt.Sprintf("bench: bulkload %s: %v", ix.Name(), err))
+	}
+	return ix, time.Since(t0)
+}
+
+// CloseIndex stops any background machinery owned by ix.
+func CloseIndex(ix index.Concurrent) { closeIfCloser(ix) }

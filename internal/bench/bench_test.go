@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"altindex/internal/dataset"
+	"altindex/internal/workload"
+)
+
+func tinyParams(buf *bytes.Buffer) Params {
+	return Params{Keys: 20000, Threads: 4, Ops: 20000, Seed: 1, Out: buf}
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	for _, f := range All() {
+		r := Run(f.New, Config{Dataset: dataset.OSM, Keys: 20000,
+			Mix: workload.Balanced, Threads: 4, Ops: 20000, Seed: 1})
+		if r.Mops <= 0 {
+			t.Fatalf("%s: Mops=%v", f.Name, r.Mops)
+		}
+		if r.P999 < r.P50 {
+			t.Fatalf("%s: P999 %v < P50 %v", f.Name, r.P999, r.P50)
+		}
+		if r.Mem == 0 {
+			t.Fatalf("%s: no memory reported", f.Name)
+		}
+		if r.Len == 0 {
+			t.Fatalf("%s: empty index after run", f.Name)
+		}
+		if r.Index != f.Name {
+			t.Fatalf("name mismatch: %q vs %q", r.Index, f.Name)
+		}
+	}
+}
+
+func TestRunReadOnlyKeepsLen(t *testing.T) {
+	r := Run(ALT().New, Config{Dataset: dataset.Libio, Keys: 10000,
+		Mix: workload.ReadOnly, Threads: 2, Ops: 5000, Seed: 2})
+	if r.Len != 5000 { // InitRatio 0.5 of 10000
+		t.Fatalf("Len=%d want 5000", r.Len)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"ALT-index", "ALEX+", "LIPP+", "FINEdex", "XIndex", "ART"} {
+		f, ok := ByName(want)
+		if !ok || f.Name != want {
+			t.Fatalf("ByName(%q) failed", want)
+		}
+		ix := f.New()
+		if ix.Name() != want {
+			t.Fatalf("factory %q built %q", want, ix.Name())
+		}
+		CloseIndex(ix)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+// TestEveryExperimentRuns executes the entire experiment registry at tiny
+// scale, verifying each emits a non-empty table without panicking.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.Run(tinyParams(&buf))
+			out := buf.String()
+			if !strings.Contains(out, "==") || len(out) < 80 {
+				t.Fatalf("experiment %s produced no table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig9"); !ok {
+		t.Fatal("fig9 missing")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestBuildOnly(t *testing.T) {
+	ix, dt := BuildOnly(ALT().New, dataset.Libio, 10000, 1, 1)
+	defer CloseIndex(ix)
+	if ix.Len() != 10000 {
+		t.Fatalf("Len=%d", ix.Len())
+	}
+	if dt <= 0 {
+		t.Fatal("no build time")
+	}
+}

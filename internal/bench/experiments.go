@@ -1,0 +1,569 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"altindex/internal/core"
+	"altindex/internal/dataset"
+	"altindex/internal/gpl"
+	"altindex/internal/index"
+	"altindex/internal/workload"
+)
+
+// Params scale an experiment. The defaults regenerate the paper's shape at
+// laptop scale (the paper uses 200M keys and 32 physical cores).
+type Params struct {
+	Keys    int // dataset size (default 2,000,000)
+	Threads int // worker goroutines (default min(GOMAXPROCS, 32))
+	Ops     int // operations per run (default 1,000,000)
+	Seed    uint64
+	Out     io.Writer
+}
+
+func (p Params) withDefaults() Params {
+	if p.Keys == 0 {
+		p.Keys = 2_000_000
+	}
+	if p.Threads == 0 {
+		p.Threads = defaultThreads()
+	}
+	if p.Ops == 0 {
+		p.Ops = 1_000_000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Out == nil {
+		p.Out = os.Stdout
+	}
+	return p
+}
+
+// Experiment is one reproducible table/figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Params)
+}
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: baseline throughput & P99.9, balanced, libio+osm", Table1},
+		{"fig3a", "Fig 3(a): model counts of XIndex/FINEdex vs ALT", Fig3a},
+		{"fig3b", "Fig 3(b): FINEdex/XIndex read-only throughput vs error bound", Fig3b},
+		{"fig4", "Fig 4: GPL vs ShrinkingCone vs LPA segmentation", Fig4},
+		{"fig6a", "Fig 6(a): ALT model count vs error bound", Fig6a},
+		{"fig6b", "Fig 6(b): ALT read-only throughput vs error bound", Fig6b},
+		{"fig7a", "Fig 7(a): read-only workload, all indexes", figMix(workload.ReadOnly)},
+		{"fig7b", "Fig 7(b): read-heavy workload, all indexes", figMix(workload.ReadHeavy)},
+		{"fig7c", "Fig 7(c): balanced workload, all indexes", figMix(workload.Balanced)},
+		{"fig7d", "Fig 7(d): write-heavy workload, all indexes", figMix(workload.WriteHeavy)},
+		{"fig7e", "Fig 7(e): write-only workload, all indexes", figMix(workload.WriteOnly)},
+		{"fig8a", "Fig 8(a): memory overhead after inserting the remainder", Fig8a},
+		{"fig8b", "Fig 8(b): hot-write throughput (retraining trigger)", Fig8b},
+		{"fig8c", "Fig 8(c): short-scan throughput (100-key scans)", Fig8c},
+		{"fig8d", "Fig 8(d): read throughput vs init ratio (osm)", Fig8d},
+		{"fig8e", "Fig 8(e): throughput vs zipf theta (osm)", Fig8e},
+		{"fig9", "Fig 9: scalability 1..T threads, balanced", Fig9},
+		{"fig10a", "Fig 10(a): ART lookup length with/without fast pointers", Fig10a},
+		{"fig10b", "Fig 10(b): fast pointer count with/without merge", Fig10b},
+		{"fig10c", "Fig 10(c): data split between layers", Fig10c},
+		{"fig10d", "Fig 10(d): bulkload time ALT vs ALEX+ vs LIPP+", Fig10d},
+		{"ablation-retrain", "Ablation: ALT hot-write with retraining on/off", AblationRetrain},
+		{"ablation-gap", "Ablation: ALT gap factor sweep, balanced", AblationGap},
+		{"ablation-writeback", "Ablation: ALT write-back scheme on/off", AblationWriteback},
+	}
+}
+
+// ByID resolves an experiment id ("fig7" expands to fig7a..e via the
+// caller; here ids are exact).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- helpers --------------------------------------------------------------
+
+func newTable(out io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+}
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e3)
+}
+
+func header(p Params, title string) {
+	fmt.Fprintf(p.Out, "\n== %s ==\n(keys=%d threads=%d ops=%d seed=%d)\n",
+		title, p.Keys, p.Threads, p.Ops, p.Seed)
+}
+
+func runRow(tw *tabwriter.Writer, f NamedFactory, cfg Config) Result {
+	r := Run(f.New, cfg)
+	fmt.Fprintf(tw, "%s\t%s\t%.2f\t%s\t%s\t%s\n",
+		f.Name, cfg.Dataset, r.Mops, us(r.P50), us(r.P99), us(r.P999))
+	return r
+}
+
+// --- Table I ----------------------------------------------------------------
+
+// Table1 reproduces the motivation table: the five baselines under the
+// read-write-balanced workload on libio and osm.
+func Table1(p Params) {
+	p = p.withDefaults()
+	header(p, "Table I: throughput (Mops/s) and tail latency (us), balanced workload")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Index\tDataset\tMops\tP50us\tP99us\tP99.9us")
+	for _, f := range Competitors() {
+		for _, ds := range []dataset.Name{dataset.Libio, dataset.OSM} {
+			runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.Balanced,
+				Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
+		}
+	}
+	tw.Flush()
+}
+
+// --- Fig 3 ------------------------------------------------------------------
+
+// Fig3a prints the number of models each learned index builds per dataset.
+func Fig3a(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 3(a): model counts after bulkloading the full dataset")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tXIndex groups\tFINEdex models\tALT models")
+	for _, ds := range dataset.Names() {
+		counts := map[string]int64{}
+		for _, f := range []NamedFactory{XIndexWith(0), FINEdexWith(0), ALT()} {
+			ix, _ := BuildOnly(f.New, ds, p.Keys, 1, p.Seed)
+			if st, ok := ix.(index.Stats); ok {
+				m := st.StatsMap()
+				if v, ok := m["models"]; ok {
+					counts[f.Name] = v
+				} else {
+					counts[f.Name] = m["groups"]
+				}
+			}
+			CloseIndex(ix)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", ds,
+			counts["XIndex"], counts["FINEdex"], counts["ALT-index"])
+	}
+	tw.Flush()
+}
+
+// Fig3b sweeps the error bound of FINEdex and XIndex under the read-only
+// workload (their throughput peaks near 32-64 and collapses past it).
+func Fig3b(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 3(b): read-only throughput vs error bound (osm)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "ErrBound\tFINEdex Mops\tXIndex Mops")
+	for _, eb := range []int{8, 16, 32, 64, 128, 256, 512} {
+		cfg := Config{Dataset: dataset.OSM, Keys: p.Keys, Mix: workload.ReadOnly,
+			Threads: p.Threads, Ops: p.Ops, Seed: p.Seed}
+		fr := Run(FINEdexWith(eb).New, cfg)
+		xr := Run(XIndexWith(eb).New, cfg)
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\n", eb, fr.Mops, xr.Mops)
+	}
+	tw.Flush()
+}
+
+// --- Fig 4 ------------------------------------------------------------------
+
+// Fig4 compares the three segmentation algorithms: segments produced and
+// single-thread segmentation time on identical data with the same ε.
+func Fig4(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 4: segmentation algorithms at eps = keys/1000")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tAlgo\tSegments\tTime(ms)\tMaxErr<=2eps")
+	for _, ds := range dataset.Names() {
+		keys := dataset.Generate(ds, p.Keys, p.Seed)
+		eps := float64(p.Keys) / 1000
+		for _, algo := range []struct {
+			name string
+			run  func([]uint64, float64) []gpl.Segment
+		}{
+			{"GPL", gpl.Partition},
+			{"ShrinkingCone", gpl.ShrinkingCone},
+			{"LPA", gpl.LPA},
+		} {
+			t0 := time.Now()
+			segs := algo.run(keys, eps)
+			dt := time.Since(t0)
+			within := true
+			off := 0
+			for _, s := range segs {
+				if gpl.MaxError(keys[off:off+s.N], s) > 2*eps {
+					within = false
+				}
+				off += s.N
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%v\n",
+				ds, algo.name, len(segs), float64(dt.Microseconds())/1e3, within)
+		}
+	}
+	tw.Flush()
+}
+
+// --- Fig 6 ------------------------------------------------------------------
+
+func epsSweep(keys int) []int {
+	base := keys / 1000
+	if base < 16 {
+		base = 16
+	}
+	return []int{base / 16, base / 4, base, base * 4, base * 16}
+}
+
+// Fig6a prints ALT's GPL model count against the error bound, showing the
+// inverse relation of Eq. (1).
+func Fig6a(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 6(a): ALT model count vs error bound")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tErrBound\tModels\tART keys")
+	for _, ds := range dataset.Names() {
+		for _, eb := range epsSweep(p.Keys) {
+			f := ALTWith("ALT-index", core.Options{ErrorBound: eb})
+			ix, _ := BuildOnly(f.New, ds, p.Keys, 1, p.Seed)
+			st := ix.(index.Stats).StatsMap()
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", ds, eb, st["models"], st["art_keys"])
+		}
+	}
+	tw.Flush()
+}
+
+// Fig6b sweeps ALT's error bound under the read-only workload — the
+// "stable area" around the recommended keys/1000 (Eq. 4).
+func Fig6b(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 6(b): ALT read-only throughput vs error bound")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tErrBound\tMops")
+	for _, ds := range dataset.Names() {
+		for _, eb := range epsSweep(p.Keys) {
+			f := ALTWith("ALT-index", core.Options{ErrorBound: eb})
+			r := Run(f.New, Config{Dataset: ds, Keys: p.Keys, Mix: workload.ReadOnly,
+				Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
+			fmt.Fprintf(tw, "%s\t%d\t%.2f\n", ds, eb, r.Mops)
+		}
+	}
+	tw.Flush()
+}
+
+// --- Fig 7 ------------------------------------------------------------------
+
+// figMix builds the Fig 7 experiment for one workload mix: all six indexes
+// across the four datasets.
+func figMix(mix workload.Mix) func(Params) {
+	return func(p Params) {
+		p = p.withDefaults()
+		header(p, fmt.Sprintf("Fig 7: %s workload, throughput and tail latency", mix.Name))
+		tw := newTable(p.Out)
+		fmt.Fprintln(tw, "Index\tDataset\tMops\tP50us\tP99us\tP99.9us")
+		for _, f := range All() {
+			for _, ds := range dataset.Names() {
+				runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: mix,
+					Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
+			}
+		}
+		tw.Flush()
+	}
+}
+
+// --- Fig 8 ------------------------------------------------------------------
+
+// Fig8a bulkloads half of each dataset, inserts the rest, and reports the
+// retained memory of every index.
+func Fig8a(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 8(a): memory overhead (MB) after inserting the remainder")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Index\tDataset\tMB\tBytes/key")
+	for _, f := range All() {
+		for _, ds := range dataset.Names() {
+			r := Run(f.New, Config{Dataset: ds, Keys: p.Keys, Mix: workload.WriteOnly,
+				Threads: p.Threads, Ops: p.Keys / 2, Seed: p.Seed})
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\n", f.Name, ds,
+				float64(r.Mem)/1e6, float64(r.Mem)/float64(r.Len))
+		}
+	}
+	tw.Flush()
+}
+
+// Fig8b runs the hot-write workload: a consecutive key range is reserved
+// and inserted after init, repeatedly triggering retraining.
+func Fig8b(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 8(b): hot-write throughput (consecutive reserved range)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Index\tDataset\tMops\tP50us\tP99us\tP99.9us")
+	for _, f := range All() {
+		for _, ds := range dataset.Names() {
+			runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.WriteOnly,
+				Hot: true, Threads: p.Threads, Ops: p.Keys / 10, Seed: p.Seed})
+		}
+	}
+	tw.Flush()
+}
+
+// Fig8c runs the 100-key short-scan workload.
+func Fig8c(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 8(c): scan throughput (100-key scans, Mscans/s x10^-1)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Index\tDataset\tMops\tP50us\tP99us\tP99.9us")
+	scanOps := p.Ops / 20
+	if scanOps < 10_000 {
+		scanOps = 10_000
+	}
+	for _, f := range All() {
+		for _, ds := range dataset.Names() {
+			runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.ScanOnly,
+				Threads: p.Threads, Ops: scanOps, Seed: p.Seed})
+		}
+	}
+	tw.Flush()
+}
+
+// Fig8d sweeps the bulkload (init) ratio on osm under read-only load.
+func Fig8d(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 8(d): read throughput vs init ratio (osm)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "InitRatio\t"+joinNames("\t"))
+	for _, ratio := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		fmt.Fprintf(tw, "%.1f", ratio)
+		for _, f := range All() {
+			r := Run(f.New, Config{Dataset: dataset.OSM, Keys: p.Keys,
+				InitRatio: ratio, Mix: workload.ReadOnly,
+				Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
+			fmt.Fprintf(tw, "\t%.2f", r.Mops)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Fig8e sweeps the zipfian theta on osm under read-only load.
+func Fig8e(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 8(e): throughput vs zipf theta (osm, read-only)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Theta\t"+joinNames("\t"))
+	for _, theta := range []float64{0.5, 0.7, 0.9, 0.99, 1.1, 1.3} {
+		fmt.Fprintf(tw, "%.2f", theta)
+		for _, f := range All() {
+			r := Run(f.New, Config{Dataset: dataset.OSM, Keys: p.Keys,
+				Mix: workload.ReadOnly, Theta: theta,
+				Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
+			fmt.Fprintf(tw, "\t%.2f", r.Mops)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+func joinNames(sep string) string {
+	s := ""
+	for i, f := range All() {
+		if i > 0 {
+			s += sep
+		}
+		s += f.Name
+	}
+	return s
+}
+
+// --- Fig 9 ------------------------------------------------------------------
+
+// Fig9 sweeps the thread count under the balanced workload.
+func Fig9(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 9: scalability under the balanced workload")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tThreads\t"+joinNames("\t"))
+	threads := []int{1, 2, 4, 8, 16, 32}
+	for _, ds := range dataset.Names() {
+		for _, th := range threads {
+			if th > p.Threads {
+				break
+			}
+			fmt.Fprintf(tw, "%s\t%d", ds, th)
+			for _, f := range All() {
+				r := Run(f.New, Config{Dataset: ds, Keys: p.Keys, Mix: workload.Balanced,
+					Threads: th, Ops: p.Ops, Seed: p.Seed})
+				fmt.Fprintf(tw, "\t%.2f", r.Mops)
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	tw.Flush()
+}
+
+// --- Fig 10 -----------------------------------------------------------------
+
+// altBuild builds a concrete *core.ALT over the full dataset.
+func altBuild(ds dataset.Name, keys int, seed uint64, opts core.Options) *core.ALT {
+	all := dataset.Generate(ds, keys, seed)
+	alt := core.New(opts)
+	if err := alt.Bulkload(dataset.Pairs(all)); err != nil {
+		panic(err)
+	}
+	return alt
+}
+
+// Fig10a measures the average ART lookup length for conflict keys, with
+// and without the fast pointer buffer.
+func Fig10a(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 10(a): average ART lookup length (nodes traversed)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tConflict keys\tWith FP\tWithout FP")
+	for _, ds := range dataset.Names() {
+		alt := altBuild(ds, p.Keys, p.Seed, core.Options{})
+		keys := dataset.Generate(ds, p.Keys, p.Seed)
+		var withFP, withoutFP, conflicts int
+		for i := 0; i < len(keys); i += 7 {
+			if l, in := alt.ARTLookupLength(keys[i], true); in {
+				withFP += l
+				l2, _ := alt.ARTLookupLength(keys[i], false)
+				withoutFP += l2
+				conflicts++
+			}
+		}
+		if conflicts == 0 {
+			fmt.Fprintf(tw, "%s\t0\t-\t-\n", ds)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\n", ds, conflicts,
+			float64(withFP)/float64(conflicts), float64(withoutFP)/float64(conflicts))
+	}
+	tw.Flush()
+}
+
+// Fig10b counts fast pointers with and without the merge scheme.
+func Fig10b(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 10(b): fast pointer count, merged vs unmerged")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tRegistered (no merge)\tStored (merged)\tSaving")
+	for _, ds := range dataset.Names() {
+		alt := altBuild(ds, p.Keys, p.Seed, core.Options{})
+		st := alt.StatsMap()
+		req, ent := st["fp_requested"], st["fp_entries"]
+		saving := 0.0
+		if req > 0 {
+			saving = 100 * float64(req-ent) / float64(req)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\n", ds, req, ent, saving)
+	}
+	tw.Flush()
+}
+
+// Fig10c reports the data split between the learned layer and ART-OPT.
+func Fig10c(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 10(c): data distribution across layers")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tLearned keys\tART keys\tLearned %")
+	for _, ds := range dataset.Names() {
+		alt := altBuild(ds, p.Keys, p.Seed, core.Options{})
+		st := alt.StatsMap()
+		l, a := st["learned_keys"], st["art_keys"]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\n", ds, l, a, 100*float64(l)/float64(l+a))
+	}
+	tw.Flush()
+}
+
+// Fig10d compares bulkload times.
+func Fig10d(p Params) {
+	p = p.withDefaults()
+	header(p, "Fig 10(d): bulkload time (full dataset)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tALT(ms)\tALEX+(ms)\tLIPP+(ms)")
+	facts := []NamedFactory{ALT()}
+	for _, f := range Competitors() {
+		if f.Name == "ALEX+" || f.Name == "LIPP+" {
+			facts = append(facts, f)
+		}
+	}
+	for _, ds := range dataset.Names() {
+		fmt.Fprintf(tw, "%s", ds)
+		for _, f := range facts {
+			ix, dt := BuildOnly(f.New, ds, p.Keys, 1, p.Seed)
+			CloseIndex(ix)
+			fmt.Fprintf(tw, "\t%.1f", float64(dt.Microseconds())/1e3)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// --- ablations ---------------------------------------------------------------
+
+// AblationRetrain contrasts ALT with retraining enabled vs disabled under
+// the hot-write workload (the design choice §III-F motivates).
+func AblationRetrain(p Params) {
+	p = p.withDefaults()
+	header(p, "Ablation: dynamic retraining under hot writes")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Variant\tDataset\tMops\tP50us\tP99us\tP99.9us")
+	variants := []NamedFactory{
+		ALTWith("ALT-index", core.Options{}),
+		ALTWith("ALT-noretrain", core.Options{DisableRetraining: true}),
+	}
+	for _, f := range variants {
+		for _, ds := range dataset.Names() {
+			runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.WriteOnly,
+				Hot: true, Threads: p.Threads, Ops: p.Keys / 10, Seed: p.Seed})
+		}
+	}
+	tw.Flush()
+}
+
+// AblationGap sweeps the learned layer's gap factor under the balanced
+// workload: more gaps absorb more inserts in place but cost memory.
+func AblationGap(p Params) {
+	p = p.withDefaults()
+	header(p, "Ablation: gap factor, balanced workload (osm)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "GapFactor\tMops\tMem MB\tLearned %")
+	for _, g := range []float64{1.0, 1.25, 1.5, 2.0, 3.0} {
+		f := ALTWith("ALT-index", core.Options{GapFactor: g})
+		r := Run(f.New, Config{Dataset: dataset.OSM, Keys: p.Keys, Mix: workload.Balanced,
+			Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
+		l, a := r.Stats["learned_keys"], r.Stats["art_keys"]
+		fmt.Fprintf(tw, "%.2f\t%.2f\t%.1f\t%.1f%%\n", g, r.Mops,
+			float64(r.Mem)/1e6, 100*float64(l)/float64(l+a))
+	}
+	tw.Flush()
+}
+
+// AblationWriteback contrasts the Algorithm-2 write-back scheme on/off
+// under a read-heavy workload with removals re-exposing ART residents.
+func AblationWriteback(p Params) {
+	p = p.withDefaults()
+	header(p, "Ablation: write-back scheme, read-heavy (osm)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Variant\tMops\tP99us")
+	variants := []NamedFactory{
+		ALTWith("ALT-index", core.Options{ErrorBound: p.Keys / 4000}),
+		ALTWith("ALT-nowriteback", core.Options{ErrorBound: p.Keys / 4000, DisableWriteBack: true}),
+	}
+	for _, f := range variants {
+		r := Run(f.New, Config{Dataset: dataset.OSM, Keys: p.Keys, Mix: workload.ReadHeavy,
+			Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
+		fmt.Fprintf(tw, "%s\t%.2f\t%s\n", f.Name, r.Mops, us(r.P99))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"altindex/internal/dataset"
+	"altindex/internal/index"
+	"altindex/internal/workload"
+)
+
+// Prepared is a reusable benchmark scenario: a bulkloaded index plus the
+// per-thread operation streams of a workload. It lets testing.B benchmarks
+// exclude the build from the timed region.
+type Prepared struct {
+	Ix      index.Concurrent
+	cfg     Config
+	w       *workload.Workload
+	streams []*workload.Stream
+}
+
+// Prepare generates the dataset, bulkloads a fresh index and sets up one
+// operation stream per thread.
+func Prepare(factory func() index.Concurrent, cfg Config) *Prepared {
+	cfg = cfg.withDefaults()
+	keys := dataset.Generate(cfg.Dataset, cfg.Keys, cfg.Seed)
+	var loaded, pending []uint64
+	if cfg.Hot {
+		loaded, pending = workload.HotSplit(keys, cfg.HotFrac, cfg.Seed)
+	} else {
+		loaded, pending = workload.SplitLoad(keys, cfg.InitRatio, cfg.Seed)
+	}
+	ix := factory()
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		panic(fmt.Sprintf("bench: bulkload %s: %v", ix.Name(), err))
+	}
+	p := &Prepared{Ix: ix, cfg: cfg}
+	p.w = workload.New(workload.Config{
+		Mix: cfg.Mix, Theta: cfg.Theta, Threads: cfg.Threads, Seed: cfg.Seed + 1,
+	}, loaded, pending)
+	for tid := 0; tid < cfg.Threads; tid++ {
+		p.streams = append(p.streams, p.w.Stream(tid))
+	}
+	return p
+}
+
+// Exec runs ops operations split across the prepared threads (no latency
+// sampling). Streams continue where the previous Exec stopped.
+func (p *Prepared) Exec(ops int) {
+	per := ops / len(p.streams)
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	for tid := range p.streams {
+		wg.Add(1)
+		go func(s *workload.Stream) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				op := s.Next()
+				switch op.Kind {
+				case workload.Get:
+					p.Ix.Get(op.Key)
+				case workload.Insert:
+					_ = p.Ix.Insert(op.Key, op.Value)
+				case workload.Update:
+					p.Ix.Update(op.Key, op.Value)
+				case workload.Remove:
+					p.Ix.Remove(op.Key)
+				case workload.Scan:
+					p.Ix.Scan(op.Key, op.N, func(uint64, uint64) bool { return true })
+				}
+			}
+		}(p.streams[tid])
+	}
+	wg.Wait()
+}
+
+// Close releases background machinery owned by the index.
+func (p *Prepared) Close() { closeIfCloser(p.Ix) }

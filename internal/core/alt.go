@@ -1,0 +1,578 @@
+// Package core implements ALT-index, the hybrid learned index of the paper
+// (§III): a flattened learned-index layer of GPL models whose predictions
+// are exact by construction, over an optimized ART layer (ART-OPT) that
+// hosts conflict data, linked by a fast pointer buffer.
+//
+// Layer invariants:
+//
+//  1. A live key is either at its predicted GPL slot or in the ART layer.
+//  2. If a key lives in ART, its predicted slot is non-empty (occupied by a
+//     different key, or a tombstone). Hence an empty predicted slot proves
+//     absence without any secondary search (Algorithm 2, line 5).
+//  3. Slot order equals key order inside a model, and model ranges are
+//     disjoint and sorted, so range scans merge two ordered streams.
+//
+// Concurrency follows §III-E: per-slot seqlock versions (even/odd) in the
+// learned layer, a spin-locked append-only fast pointer buffer, and
+// optimistic lock coupling inside ART. Retraining freezes one model's
+// slots, rebuilds the key range (pulling its ART residents back), and swaps
+// a copy-on-write model table.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"altindex/internal/art"
+	"altindex/internal/gpl"
+	"altindex/internal/index"
+)
+
+// Options configure an ALT index. The zero value gives the paper's
+// recommended defaults.
+type Options struct {
+	// ErrorBound is the GPL segmentation ε. Zero selects the paper's
+	// recommendation of bulkload_size/1000 (§III-D), floored at 16.
+	ErrorBound int
+	// GapFactor stretches each model's slot array to leave gaps for
+	// in-place inserts (§III-B "array gaps scheme"). Zero selects 2.0.
+	GapFactor float64
+	// DisableFastPointers turns off the fast pointer buffer, so ART
+	// lookups start at the root (the Fig 10a ablation).
+	DisableFastPointers bool
+	// DisableRetraining turns off dynamic retraining (§III-F).
+	DisableRetraining bool
+	// RetrainMinInserts floors the retraining trigger: a model retrains
+	// once its runtime inserts exceed max(buildSize, RetrainMinInserts).
+	// Zero selects 1024, which stops rebuild thrash on small models.
+	RetrainMinInserts int
+	// DisableWriteBack turns off moving ART-resident keys back into
+	// freed GPL slots during lookups (Algorithm 2 lines 10-13).
+	DisableWriteBack bool
+	// AutoTrainThreshold makes an index that was never Bulkloaded train
+	// its learned layer automatically once the ART layer holds this many
+	// keys. Zero selects 8192; negative disables automatic training.
+	AutoTrainThreshold int
+}
+
+func (o Options) withDefaults() Options {
+	if o.GapFactor == 0 {
+		o.GapFactor = 2.0
+	}
+	if o.RetrainMinInserts == 0 {
+		o.RetrainMinInserts = 1024
+	}
+	return o
+}
+
+// ALT is the hybrid learned index. Create with New; safe for concurrent
+// use after Bulkload.
+type ALT struct {
+	opts Options
+	eps  float64
+
+	tab  atomic.Pointer[table]
+	tree *art.Tree
+	fp   *fpBuffer
+
+	retrainMu sync.Mutex
+	// preMu serialises pre-table tree mutations against the bootstrap
+	// table swap of automatic initial training.
+	preMu    sync.RWMutex
+	retrains atomic.Int64
+	size     atomic.Int64
+}
+
+var _ index.Concurrent = (*ALT)(nil)
+var _ index.Stats = (*ALT)(nil)
+
+// New returns an empty ALT-index. Until Bulkload, all keys live in the ART
+// layer.
+func New(opts Options) *ALT {
+	t := &ALT{opts: opts.withDefaults()}
+	t.fp = newFPBuffer(64)
+	t.tree = art.New(t.fp)
+	t.tab.Store(&table{})
+	return t
+}
+
+// Name implements index.Concurrent.
+func (t *ALT) Name() string { return "ALT-index" }
+
+// Len returns the number of live keys.
+func (t *ALT) Len() int { return int(t.size.Load()) }
+
+// ErrorBound returns the ε in effect (resolved after Bulkload).
+func (t *ALT) ErrorBound() float64 { return t.eps }
+
+// Bulkload replaces the index contents: GPL segmentation (Algorithm 1),
+// gapped model layout, conflict eviction to a fresh ART, and fast pointer
+// construction (§III-C1).
+func (t *ALT) Bulkload(pairs []index.KV) error {
+	keys := make([]uint64, len(pairs))
+	vals := make([]uint64, len(pairs))
+	for i, kv := range pairs {
+		if i > 0 && kv.Key <= keys[i-1] {
+			return index.ErrUnsortedBulk
+		}
+		keys[i] = kv.Key
+		vals[i] = kv.Value
+	}
+
+	eps := float64(t.opts.ErrorBound)
+	if eps <= 0 {
+		eps = float64(len(keys)) / 1000
+	}
+	if eps < 16 {
+		eps = 16
+	}
+	t.eps = eps
+
+	var segs []gpl.Segment
+	if len(keys) > 0 {
+		segs = gpl.Partition(keys, eps)
+	}
+
+	models := make([]*model, 0, len(segs))
+	firsts := make([]uint64, 0, len(segs))
+	var confK, confV []uint64
+	off := 0
+	for _, seg := range segs {
+		m, conflicts := buildModel(keys[off:off+seg.N], vals[off:off+seg.N], seg, t.opts.GapFactor)
+		for _, ci := range conflicts {
+			confK = append(confK, keys[off+ci])
+			confV = append(confV, vals[off+ci])
+		}
+		models = append(models, m)
+		firsts = append(firsts, m.first)
+		off += seg.N
+	}
+
+	// Fresh ART + fast pointer buffer sized for the model population
+	// plus retraining headroom.
+	t.fp = newFPBuffer(2*len(models) + 1024)
+	t.tree = art.New(t.fp)
+	for i := range confK {
+		t.tree.Insert(confK[i], confV[i])
+	}
+
+	tb := &table{firsts: firsts, models: models}
+	t.tab.Store(tb)
+	t.size.Store(int64(len(keys)))
+	t.retrains.Store(0)
+
+	if !t.opts.DisableFastPointers {
+		t.buildFastPointers(tb)
+	}
+	return nil
+}
+
+// buildFastPointers links each GPL model to the deepest ART node covering
+// its key range, merging duplicate targets (§III-C).
+func (t *ALT) buildFastPointers(tb *table) {
+	for i, m := range tb.models {
+		t.registerFP(tb, m, i)
+	}
+}
+
+// registerFP links the model at table position pos to the deepest ART node
+// covering its routing range (§III-C1).
+func (t *ALT) registerFP(tb *table, m *model, pos int) {
+	lo := tb.firsts[pos]
+	if pos == 0 {
+		lo = 0
+	}
+	hi := tb.upperBound(pos)
+	if hi > lo {
+		hi--
+	}
+	n := t.tree.LowestCommonNode(lo, hi)
+	if n != nil {
+		if _, leaf := n.Leaf(); leaf {
+			n = nil
+		}
+	}
+	if n != nil {
+		m.fastIdx.Store(t.fp.register(n))
+	}
+}
+
+// fpNode resolves a model's fast pointer to the current ART entry node.
+func (t *ALT) fpNode(m *model) *art.Node {
+	if t.opts.DisableFastPointers {
+		return nil
+	}
+	return t.fp.node(m.fastIdx.Load())
+}
+
+// backoff spins briefly, then yields; used when a slot writer (or a
+// retraining freeze) is in flight. Callers reload the model table each
+// attempt so a frozen model is escaped as soon as the new table lands.
+func backoff(attempt int) {
+	if attempt > 16 {
+		runtime.Gosched()
+		return
+	}
+	for i := 0; i < 2<<uint(attempt&7); i++ {
+		_ = attempt
+	}
+}
+
+// Get implements Algorithm 2 (Search): one model location, one exact
+// prediction, and — only for conflict data — a fast-pointer hop into ART.
+//
+// An ART miss is only trusted if the slot metadata is unchanged afterwards:
+// a changed version means a concurrent migration (retraining freeze,
+// write-back or tombstone reclaim) may have moved the key between the two
+// probes, so the lookup retries.
+func (t *ALT) Get(key uint64) (uint64, bool) {
+	for attempt := 0; ; attempt++ {
+		tab := t.tab.Load()
+		if len(tab.models) == 0 {
+			return t.tree.Get(key)
+		}
+		m, _ := tab.find(key)
+		s := m.slotOf(key)
+		k, v, meta, ok := m.read(s)
+		if !ok {
+			backoff(attempt)
+			continue
+		}
+		switch st := stateOf(meta); {
+		case st == 0:
+			// Empty prediction target: the key cannot exist anywhere
+			// (invariant 2) — no secondary search needed.
+			return 0, false
+		case st&slotOccupied != 0:
+			if k == key {
+				return v, true
+			}
+			val, found, _ := t.tree.GetFrom(t.fpNode(m), key)
+			if found {
+				return val, true
+			}
+			if m.meta[s].Load() != meta {
+				backoff(attempt)
+				continue // concurrent migration; retry
+			}
+			return 0, false
+		default: // tombstone: the key may live in ART
+			val, found, _ := t.tree.GetFrom(t.fpNode(m), key)
+			if found {
+				if !t.opts.DisableWriteBack {
+					t.writeBack(m, s, key, val)
+				}
+				return val, true
+			}
+			if m.meta[s].Load() != meta {
+				backoff(attempt)
+				continue
+			}
+			return 0, false
+		}
+	}
+}
+
+// writeBack moves a key found in ART into its freed predicted slot
+// (Algorithm 2 lines 10-13). The slot lock is held across the ART removal
+// so concurrent operations on the same key serialize behind the slot.
+func (t *ALT) writeBack(m *model, s int, key, val uint64) {
+	meta := m.meta[s].Load()
+	if meta&(slotLockBit|slotOccupied) != 0 {
+		return // someone claimed the slot; keep the ART copy
+	}
+	if !m.acquire(s, meta) {
+		return
+	}
+	if t.tree.Remove(key) {
+		m.keys[s].Store(key)
+		m.vals[s].Store(val)
+		m.release(s, meta, slotOccupied)
+	} else {
+		// A racing remove took the key; restore the slot state.
+		m.release(s, meta, meta&(slotOccupied|slotTomb))
+	}
+}
+
+// Insert stores key/value (upsert): in place when the predicted slot is
+// free, otherwise into the ART-OPT layer (Algorithm 2, Insert).
+func (t *ALT) Insert(key, value uint64) error {
+	for attempt := 0; ; attempt++ {
+		tab := t.tab.Load()
+		if len(tab.models) == 0 {
+			t.preMu.RLock()
+			if len(t.tab.Load().models) != 0 {
+				t.preMu.RUnlock()
+				continue // trained concurrently; take the normal path
+			}
+			if t.tree.Put(key, value) {
+				t.size.Add(1)
+			}
+			t.preMu.RUnlock()
+			t.maybeTrainInitial()
+			return nil
+		}
+		m, pos := tab.find(key)
+		s := m.slotOf(key)
+		meta := m.meta[s].Load()
+		if meta&slotLockBit != 0 {
+			backoff(attempt)
+			continue
+		}
+		st := meta & (slotOccupied | slotTomb)
+		switch {
+		case st&slotOccupied != 0:
+			k := m.keys[s].Load()
+			if m.meta[s].Load() != meta {
+				backoff(attempt)
+				continue
+			}
+			if k == key {
+				if !m.acquire(s, meta) {
+					backoff(attempt)
+					continue
+				}
+				m.vals[s].Store(value)
+				m.release(s, meta, slotOccupied)
+				return nil
+			}
+			// Conflict data: evict to ART-OPT via the fast pointer
+			// ("insertion is similar to the lookup", §III-C3). The slot
+			// lock is held across the tree write so a retraining freeze
+			// cannot gather the range while this key is in flight (it
+			// would strand the key in ART with no occupied slot routing
+			// to it).
+			if !m.acquire(s, meta) {
+				backoff(attempt)
+				continue
+			}
+			added := t.tree.PutFrom(t.fpNode(m), key, value)
+			m.release(s, meta, slotOccupied)
+			if added {
+				t.size.Add(1)
+			}
+			m.overflow.Add(1)
+			if !t.opts.DisableFastPointers && m.fastIdx.Load() < 0 {
+				// The model had no fast pointer (the ART was empty when
+				// it was built); now that its range has conflict data,
+				// link it lazily.
+				t.registerFP(tab, m, pos)
+			}
+			t.maybeRetrain(tab, m, pos)
+			return nil
+		case st == 0:
+			if !m.acquire(s, meta) {
+				backoff(attempt)
+				continue
+			}
+			m.keys[s].Store(key)
+			m.vals[s].Store(value)
+			m.release(s, meta, slotOccupied)
+			m.inserts.Add(1)
+			t.size.Add(1)
+			return nil
+		default: // tombstone: claim it, clearing any shadowed ART copy.
+			if !m.acquire(s, meta) {
+				backoff(attempt)
+				continue
+			}
+			// The ART removal runs under the slot lock so the key never
+			// exists in both layers and the size stays exact.
+			shadowed := t.tree.Remove(key)
+			m.keys[s].Store(key)
+			m.vals[s].Store(value)
+			m.release(s, meta, slotOccupied)
+			if !shadowed {
+				t.size.Add(1) // fresh key, not an upsert of an ART copy
+			}
+			m.inserts.Add(1)
+			return nil
+		}
+	}
+}
+
+// Update overwrites an existing key's value.
+func (t *ALT) Update(key, value uint64) bool {
+	for attempt := 0; ; attempt++ {
+		tab := t.tab.Load()
+		if len(tab.models) == 0 {
+			t.preMu.RLock()
+			if len(t.tab.Load().models) != 0 {
+				t.preMu.RUnlock()
+				continue
+			}
+			found := t.tree.Update(key, value)
+			t.preMu.RUnlock()
+			return found
+		}
+		m, _ := tab.find(key)
+		s := m.slotOf(key)
+		meta := m.meta[s].Load()
+		if meta&slotLockBit != 0 {
+			backoff(attempt)
+			continue
+		}
+		st := meta & (slotOccupied | slotTomb)
+		switch {
+		case st == 0:
+			return false
+		case st&slotOccupied != 0:
+			k := m.keys[s].Load()
+			if m.meta[s].Load() != meta {
+				backoff(attempt)
+				continue
+			}
+			if k == key {
+				if !m.acquire(s, meta) {
+					backoff(attempt)
+					continue
+				}
+				m.vals[s].Store(value)
+				m.release(s, meta, slotOccupied)
+				return true
+			}
+			// ART-resident target: run the tree update under the slot
+			// lock so it cannot interleave with a retraining migration.
+			if !m.acquire(s, meta) {
+				backoff(attempt)
+				continue
+			}
+			found := t.tree.Update(key, value)
+			m.release(s, meta, st)
+			return found
+		default:
+			if !m.acquire(s, meta) {
+				backoff(attempt)
+				continue
+			}
+			found := t.tree.Update(key, value)
+			m.release(s, meta, st)
+			return found
+		}
+	}
+}
+
+// Remove deletes key. A slot-resident key becomes a tombstone so that
+// conflict keys predicted to the same slot still route to ART
+// (invariant 2); ART-resident keys are removed from the tree.
+func (t *ALT) Remove(key uint64) bool {
+	for attempt := 0; ; attempt++ {
+		tab := t.tab.Load()
+		if len(tab.models) == 0 {
+			t.preMu.RLock()
+			if len(t.tab.Load().models) != 0 {
+				t.preMu.RUnlock()
+				continue
+			}
+			removed := t.tree.Remove(key)
+			t.preMu.RUnlock()
+			if removed {
+				t.size.Add(-1)
+				return true
+			}
+			return false
+		}
+		m, _ := tab.find(key)
+		s := m.slotOf(key)
+		meta := m.meta[s].Load()
+		if meta&slotLockBit != 0 {
+			backoff(attempt)
+			continue
+		}
+		st := meta & (slotOccupied | slotTomb)
+		switch {
+		case st == 0:
+			return false
+		case st&slotOccupied != 0:
+			k := m.keys[s].Load()
+			if m.meta[s].Load() != meta {
+				backoff(attempt)
+				continue
+			}
+			if k == key {
+				if !m.acquire(s, meta) {
+					backoff(attempt)
+					continue
+				}
+				m.release(s, meta, slotTomb)
+				t.size.Add(-1)
+				return true
+			}
+			// ART-resident target: remove under the slot lock so the
+			// removal cannot interleave with a retraining migration.
+			if !m.acquire(s, meta) {
+				backoff(attempt)
+				continue
+			}
+			removed := t.tree.Remove(key)
+			m.release(s, meta, st)
+			if removed {
+				t.size.Add(-1)
+			}
+			return removed
+		default:
+			if !m.acquire(s, meta) {
+				backoff(attempt)
+				continue
+			}
+			removed := t.tree.Remove(key)
+			m.release(s, meta, st)
+			if removed {
+				t.size.Add(-1)
+			}
+			return removed
+		}
+	}
+}
+
+// MemoryUsage approximates retained heap bytes across both layers, the
+// fast pointer buffer and the model table.
+func (t *ALT) MemoryUsage() uintptr {
+	tb := t.tab.Load()
+	total := t.tree.MemoryUsage() + t.fp.memory()
+	for _, m := range tb.models {
+		total += m.memory()
+	}
+	total += uintptr(len(tb.firsts)) * 16
+	return total
+}
+
+// StatsMap implements index.Stats with the counters behind the paper's
+// Fig 10 analysis.
+func (t *ALT) StatsMap() map[string]int64 {
+	tb := t.tab.Load()
+	learned := 0
+	slots := 0
+	for _, m := range tb.models {
+		learned += m.liveCount()
+		slots += m.nslots
+	}
+	return map[string]int64{
+		"models":       int64(len(tb.models)),
+		"slots":        int64(slots),
+		"learned_keys": int64(learned),
+		"art_keys":     int64(t.tree.Len()),
+		"fp_entries":   int64(t.fp.len()),
+		"fp_requested": t.fp.requestedCount(),
+		"retrains":     t.retrains.Load(),
+	}
+}
+
+// ARTLookupLength reports, for a key, how many ART nodes a secondary
+// lookup traverses with or without the fast pointer, and whether the key is
+// ART-resident. Used by the Fig 10a analysis.
+func (t *ALT) ARTLookupLength(key uint64, useFP bool) (pathLen int, inART bool) {
+	tab := t.tab.Load()
+	if len(tab.models) == 0 {
+		_, found, p := t.tree.GetFrom(nil, key)
+		return p, found
+	}
+	m, _ := tab.find(key)
+	var start *art.Node
+	if useFP {
+		start = t.fp.node(m.fastIdx.Load())
+	}
+	_, found, p := t.tree.GetFrom(start, key)
+	return p, found
+}

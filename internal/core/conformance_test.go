@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"testing"
+
+	"altindex/internal/core"
+	"altindex/internal/index"
+	"altindex/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func() index.Concurrent { return core.New(core.Options{}) })
+}
+
+func TestConformanceSmallErrorBound(t *testing.T) {
+	// A tight ε maximises ART-layer traffic.
+	indextest.Run(t, func() index.Concurrent {
+		return core.New(core.Options{ErrorBound: 32})
+	})
+}
+
+func TestConformanceNoFastPointers(t *testing.T) {
+	indextest.Run(t, func() index.Concurrent {
+		return core.New(core.Options{ErrorBound: 32, DisableFastPointers: true})
+	})
+}
+
+func TestConformanceNoRetraining(t *testing.T) {
+	indextest.Run(t, func() index.Concurrent {
+		return core.New(core.Options{DisableRetraining: true})
+	})
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"altindex/internal/gpl"
+)
+
+// Slot states, stored in the per-slot metadata word (the paper's per-slot
+// atomic version, §III-E). Layout: bit 0 = writer lock (odd = write in
+// progress), bit 1 = occupied, bit 2 = tombstone, bits 3.. = version.
+const (
+	slotLockBit  = uint32(1)
+	slotOccupied = uint32(2)
+	slotTomb     = uint32(4)
+	slotVerShift = 3
+)
+
+// model is one GPL model: a gapped slot array addressed by a linear
+// prediction with no in-layer prediction error — a key is either at its
+// predicted slot or in the ART-OPT layer.
+type model struct {
+	first  uint64  // smallest key the model was built from
+	slope  float64 // positions per key unit, including the gap factor
+	nslots int
+
+	keys []atomic.Uint64
+	vals []atomic.Uint64
+	meta []atomic.Uint32
+
+	// fastIdx is this model's entry in the fast pointer buffer, or -1.
+	fastIdx atomic.Int32
+
+	buildSize int          // keys placed at build time
+	inserts   atomic.Int64 // runtime in-place inserts
+	overflow  atomic.Int64 // runtime inserts evicted to ART
+}
+
+// buildModel lays seg's keys out in a gapped array scaled by gapFactor.
+// Keys whose predicted slot is already taken are returned as conflicts for
+// the ART-OPT layer, which is exactly what keeps the learned layer free of
+// prediction errors.
+func buildModel(keys, vals []uint64, seg gpl.Segment, gapFactor float64) (*model, []int) {
+	if gapFactor < 1 {
+		gapFactor = 1
+	}
+	m := &model{
+		first:     seg.First,
+		slope:     seg.Slope * gapFactor,
+		buildSize: seg.N,
+	}
+	m.fastIdx.Store(-1)
+	last := keys[seg.N-1]
+	m.nslots = int(m.slope*float64(last-m.first)+0.5) + 1
+	if m.nslots < seg.N {
+		m.nslots = seg.N
+	}
+	m.keys = make([]atomic.Uint64, m.nslots)
+	m.vals = make([]atomic.Uint64, m.nslots)
+	m.meta = make([]atomic.Uint32, m.nslots)
+
+	var conflicts []int
+	for i := 0; i < seg.N; i++ {
+		s := m.slotOf(keys[i])
+		if m.meta[s].Load()&slotOccupied != 0 {
+			conflicts = append(conflicts, i)
+			continue
+		}
+		m.keys[s].Store(keys[i])
+		m.vals[s].Store(vals[i])
+		m.meta[s].Store(slotOccupied)
+	}
+	m.buildSize = seg.N - len(conflicts)
+	return m, conflicts
+}
+
+// slotOf returns the predicted slot for key, clamped to the array. Because
+// the same formula places and looks keys up, predictions in this layer are
+// exact by construction.
+func (m *model) slotOf(key uint64) int {
+	if key <= m.first {
+		return 0
+	}
+	s := int(m.slope*float64(key-m.first) + 0.5)
+	if s < 0 {
+		s = 0
+	}
+	if s >= m.nslots {
+		s = m.nslots - 1
+	}
+	return s
+}
+
+// read performs one seqlock-protected slot read, returning the full
+// metadata word observed (pass it to stateOf for the slot state, or compare
+// it later to detect concurrent migration). ok=false means a writer was
+// active (or the slot frozen for retraining) and the caller must retry
+// after reloading the model table.
+func (m *model) read(slot int) (key, val uint64, meta uint32, ok bool) {
+	m1 := m.meta[slot].Load()
+	if m1&slotLockBit != 0 {
+		return 0, 0, 0, false
+	}
+	k := m.keys[slot].Load()
+	v := m.vals[slot].Load()
+	if m.meta[slot].Load() != m1 {
+		return 0, 0, 0, false
+	}
+	return k, v, m1, true
+}
+
+// stateOf extracts the slot state flags from a metadata word.
+func stateOf(meta uint32) uint32 { return meta & (slotOccupied | slotTomb) }
+
+// acquire locks the slot for writing iff its metadata still equals seen
+// (which must be unlocked). The paper's even/odd write protocol.
+func (m *model) acquire(slot int, seen uint32) bool {
+	return m.meta[slot].CompareAndSwap(seen, seen|slotLockBit)
+}
+
+// release unlocks the slot, bumping the version and setting the new state
+// flags (slotOccupied, slotTomb or neither).
+func (m *model) release(slot int, seen, flags uint32) {
+	ver := seen >> slotVerShift
+	m.meta[slot].Store((ver+1)<<slotVerShift | flags)
+}
+
+// freeze locks every slot permanently; used when the model is being
+// replaced by retraining. Spin-waits for in-flight writers, so after freeze
+// returns no writer can touch the array and its contents are final.
+func (m *model) freeze() {
+	for s := 0; s < m.nslots; s++ {
+		for spins := 0; ; spins++ {
+			cur := m.meta[s].Load()
+			if cur&slotLockBit == 0 && m.meta[s].CompareAndSwap(cur, cur|slotLockBit) {
+				break
+			}
+			if spins > 64 {
+				runtime.Gosched() // in-flight writer; let it finish
+			}
+		}
+	}
+}
+
+// frozenEntries returns the live pairs of a frozen model in ascending key
+// order (slot order equals key order because slotOf is monotone).
+func (m *model) frozenEntries() (keys, vals []uint64) {
+	for s := 0; s < m.nslots; s++ {
+		if m.meta[s].Load()&slotOccupied != 0 {
+			keys = append(keys, m.keys[s].Load())
+			vals = append(vals, m.vals[s].Load())
+		}
+	}
+	return keys, vals
+}
+
+// liveCount returns the number of occupied slots (approximate under
+// concurrent writes).
+func (m *model) liveCount() int {
+	n := 0
+	for s := 0; s < m.nslots; s++ {
+		if m.meta[s].Load()&slotOccupied != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// memory returns the model's approximate heap bytes.
+func (m *model) memory() uintptr {
+	return uintptr(m.nslots)*(8+8+4) + 96
+}
+
+// table is the immutable, flattened model directory: models sorted by
+// first key, located with one binary search (the paper's "flattened data
+// structure", §III-B). Replaced copy-on-write by retraining.
+type table struct {
+	firsts []uint64
+	models []*model
+}
+
+// find returns the model responsible for key and its table position: the
+// rightmost model whose first key is <= key (keys below the first model
+// clamp to model 0).
+func (tb *table) find(key uint64) (*model, int) {
+	lo, hi := 0, len(tb.firsts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tb.firsts[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo - 1
+	if i < 0 {
+		i = 0
+	}
+	return tb.models[i], i
+}
+
+// upperBound returns the exclusive key upper bound of the model at
+// position i (the next model's first key, or MaxUint64).
+func (tb *table) upperBound(i int) uint64 {
+	if i+1 < len(tb.firsts) {
+		return tb.firsts[i+1]
+	}
+	return ^uint64(0)
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"altindex/internal/gpl"
+)
+
+// maybeRetrain implements the §III-F trigger: a model whose runtime
+// insertions exceed its build size is crowded — subsequent inserts would
+// all spill into ART — so it is rebuilt with doubled gap capacity. The
+// trigger is floored (Options.RetrainMinInserts) so that small models do
+// not thrash through rebuilds; the paper's 200M-key models are large
+// enough that build size alone is a sane floor, scaled-down ones are not.
+// At most one retraining runs at a time; contenders simply skip.
+func (t *ALT) maybeRetrain(tb *table, m *model, pos int) {
+	if t.opts.DisableRetraining {
+		return
+	}
+	threshold := int64(m.buildSize)
+	if min := int64(t.opts.RetrainMinInserts); threshold < min {
+		threshold = min
+	}
+	if m.inserts.Load()+m.overflow.Load() <= threshold {
+		return
+	}
+	if !t.retrainMu.TryLock() {
+		return
+	}
+	defer t.retrainMu.Unlock()
+	cur := t.tab.Load()
+	mm, i := cur.find(m.first)
+	if mm != m {
+		return // a previous retraining already replaced this model
+	}
+	t.rebuild(cur, m, i)
+}
+
+// rebuild is the expansion of §III-F, restructured around a copy-on-write
+// table swap (the Go-idiomatic equivalent of the paper's temporal-buffer
+// pointer update):
+//
+//  1. Freeze the model's slots. Every reader/writer targeting the range
+//     now spins, reloading the table each attempt.
+//  2. Collect the frozen entries plus the range's ART residents (which
+//     are written back into the fresh model — the §III-F write-back).
+//  3. Re-segment with GPL and rebuild with doubled gaps ("twice larger"),
+//     evicting new conflicts to ART.
+//  4. Publish the spliced table; spinners escape to the new models.
+func (t *ALT) rebuild(tb *table, m *model, pos int) {
+	lo := tb.firsts[pos] // routing boundary, possibly below m.first
+	if pos == 0 {
+		lo = 0 // model 0 also owns all keys below its first
+	}
+	end := tb.upperBound(pos) // exclusive, except MaxUint64 (inclusive)
+	if pos+1 < len(tb.firsts) {
+		end--
+	}
+
+	m.freeze()
+	mk, mv := m.frozenEntries()
+
+	var ak, av []uint64
+	t.tree.ScanRange(lo, end, t.tree.Len()+1, func(k, v uint64) bool {
+		ak = append(ak, k)
+		av = append(av, v)
+		return true
+	})
+	for _, k := range ak {
+		t.tree.Remove(k)
+	}
+
+	keys, vals := mergeSorted(mk, mv, ak, av)
+
+	gap := t.opts.GapFactor * 2
+	if gap > 4 {
+		gap = 4
+	}
+	var newModels []*model
+	var newFirsts []uint64
+	if len(keys) == 0 {
+		// Keep an empty placeholder so the table still covers the range.
+		em := emptyModel(m.first)
+		newModels = []*model{em}
+		newFirsts = []uint64{em.first}
+	} else {
+		segs := gpl.Partition(keys, t.eps)
+		off := 0
+		for _, seg := range segs {
+			nm, conflicts := buildModel(keys[off:off+seg.N], vals[off:off+seg.N], seg, gap)
+			for _, ci := range conflicts {
+				t.tree.Put(keys[off+ci], vals[off+ci])
+			}
+			newModels = append(newModels, nm)
+			newFirsts = append(newFirsts, nm.first)
+			off += seg.N
+		}
+	}
+
+	// Routing boundaries are immutable: the rebuilt range keeps its old
+	// lower bound even if its minimum key moved up, so no neighbour's
+	// routing range ever expands and every registered fast pointer keeps
+	// covering its model's range. (A model's prediction origin — its
+	// first field — is independent of the routing boundary; keys between
+	// the boundary and the origin clamp to slot 0.)
+	newFirsts[0] = tb.firsts[pos]
+
+	nf := make([]uint64, 0, len(tb.firsts)-1+len(newFirsts))
+	nm := make([]*model, 0, len(tb.models)-1+len(newModels))
+	nf = append(nf, tb.firsts[:pos]...)
+	nf = append(nf, newFirsts...)
+	nf = append(nf, tb.firsts[pos+1:]...)
+	nm = append(nm, tb.models[:pos]...)
+	nm = append(nm, newModels...)
+	nm = append(nm, tb.models[pos+1:]...)
+	newTab := &table{firsts: nf, models: nm}
+
+	if !t.opts.DisableFastPointers {
+		for i, mmNew := range newModels {
+			t.registerFP(newTab, mmNew, pos+i)
+		}
+	}
+
+	t.tab.Store(newTab)
+	t.retrains.Add(1)
+}
+
+// emptyModel returns a one-slot model covering first, used when a rebuilt
+// range holds no keys.
+func emptyModel(first uint64) *model {
+	m := &model{first: first, slope: 1, nslots: 1, buildSize: 1}
+	m.fastIdx.Store(-1)
+	m.keys = make([]atomic.Uint64, 1)
+	m.vals = make([]atomic.Uint64, 1)
+	m.meta = make([]atomic.Uint32, 1)
+	return m
+}
+
+// mergeSorted merges two ascending key streams (model entries and ART
+// residents) into one ascending stream. Equal keys — possible only in a
+// narrow migration window — keep the model copy, which is newer.
+func mergeSorted(ak []uint64, avals []uint64, bk []uint64, bvals []uint64) (keys, vals []uint64) {
+	keys = make([]uint64, 0, len(ak)+len(bk))
+	vals = make([]uint64, 0, len(ak)+len(bk))
+	i, j := 0, 0
+	for i < len(ak) && j < len(bk) {
+		switch {
+		case ak[i] < bk[j]:
+			keys = append(keys, ak[i])
+			vals = append(vals, avals[i])
+			i++
+		case ak[i] > bk[j]:
+			keys = append(keys, bk[j])
+			vals = append(vals, bvals[j])
+			j++
+		default:
+			keys = append(keys, ak[i])
+			vals = append(vals, avals[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(ak); i++ {
+		keys = append(keys, ak[i])
+		vals = append(vals, avals[i])
+	}
+	for ; j < len(bk); j++ {
+		keys = append(keys, bk[j])
+		vals = append(vals, bvals[j])
+	}
+	return keys, vals
+}

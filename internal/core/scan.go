@@ -1,0 +1,129 @@
+package core
+
+import (
+	"iter"
+
+	"altindex/internal/index"
+)
+
+// Scan visits up to n pairs with keys >= start in ascending order,
+// merging the learned layer's slot stream with the ART layer's tree scan
+// (§III-G Range Query). Equal keys — possible only inside a migration
+// window — are deduplicated in favour of the learned copy.
+func (t *ALT) Scan(start uint64, n int, fn func(uint64, uint64) bool) int {
+	if n <= 0 {
+		return 0
+	}
+	var learned []index.KV
+	for attempt := 0; ; attempt++ {
+		tab := t.tab.Load()
+		if len(tab.models) == 0 {
+			return t.tree.Scan(start, n, fn)
+		}
+		var ok bool
+		learned, ok = t.collectLearned(tab, start, n)
+		if ok || attempt >= 4 {
+			break
+		}
+	}
+	artBuf := make([]index.KV, 0, minInt(n, 128))
+	t.tree.Scan(start, n, func(k, v uint64) bool {
+		artBuf = append(artBuf, index.KV{Key: k, Value: v})
+		return true
+	})
+
+	emitted := 0
+	i, j := 0, 0
+	for emitted < n && (i < len(learned) || j < len(artBuf)) {
+		var kv index.KV
+		switch {
+		case j >= len(artBuf) || (i < len(learned) && learned[i].Key < artBuf[j].Key):
+			kv = learned[i]
+			i++
+		case i >= len(learned) || artBuf[j].Key < learned[i].Key:
+			kv = artBuf[j]
+			j++
+		default: // duplicate key: prefer the learned copy
+			kv = learned[i]
+			i++
+			j++
+		}
+		emitted++
+		if !fn(kv.Key, kv.Value) {
+			break
+		}
+	}
+	return emitted
+}
+
+// collectLearned gathers up to n in-range pairs from the learned layer.
+// ok=false means a slot stayed write-locked (e.g. a retraining freeze) and
+// the caller should reload the table and retry.
+func (t *ALT) collectLearned(tb *table, start uint64, n int) ([]index.KV, bool) {
+	out := make([]index.KV, 0, minInt(n, 128))
+	_, mi := tb.find(start)
+	for ; mi < len(tb.models) && len(out) < n; mi++ {
+		m := tb.models[mi]
+		s := 0
+		if mi == 0 || m.first <= start {
+			s = m.slotOf(start)
+		}
+		for ; s < m.nslots && len(out) < n; s++ {
+			var k, v uint64
+			var st uint32
+			readOK := false
+			for try := 0; try < 64; try++ {
+				var ok bool
+				k, v, st, ok = m.read(s)
+				if ok {
+					readOK = true
+					break
+				}
+				backoff(try)
+			}
+			if !readOK {
+				return nil, false // frozen slot: table about to change
+			}
+			if st&slotOccupied != 0 && k >= start {
+				out = append(out, index.KV{Key: k, Value: v})
+			}
+		}
+	}
+	return out, true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Range returns a Go iterator over pairs with keys >= start in ascending
+// key order. Pairs are produced in bounded batches, each an internally
+// consistent snapshot; the iteration as a whole is safe under concurrent
+// writers but, like Scan, best-effort during a retraining window.
+func (t *ALT) Range(start uint64) iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) {
+		const batch = 256
+		cur := start
+		for {
+			n := 0
+			var last uint64
+			stopped := false
+			t.Scan(cur, batch, func(k, v uint64) bool {
+				n++
+				last = k
+				if !yield(k, v) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped || n < batch || last == ^uint64(0) {
+				return
+			}
+			cur = last + 1
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package dataset generates deterministic synthetic key sets that stand in
+// for the four real-world datasets of the ALT-index paper's evaluation
+// (SOSD fb, libio, osm and the longlat transform). The real datasets are
+// 200M-key downloads; these generators reproduce each dataset's CDF
+// character — which is what drives segment counts, prediction-conflict
+// ratios and hence every comparative result — at configurable scale.
+//
+// All generators emit strictly ascending, deduplicated uint64 keys and are
+// fully determined by (name, n, seed).
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"altindex/internal/index"
+	"altindex/internal/xrand"
+)
+
+// Name identifies a generator.
+type Name string
+
+// Generator names. The four paper datasets plus two synthetic controls.
+const (
+	// FB mimics Facebook user IDs: long near-linear dense stretches with
+	// occasional large jumps and a heavy-tailed top percentile.
+	FB Name = "fb"
+	// Libio mimics libraries.io repository IDs: almost perfectly dense
+	// sequential IDs with rare small gaps. The easiest distribution to
+	// fit; the paper reports >80%% of it absorbed by the learned layer.
+	Libio Name = "libio"
+	// OSM mimics uniformly sampled OpenStreetMap cell IDs: heavily
+	// clustered locations with bursty, heavy-tailed gaps — locally rough
+	// and the hardest to fit with linear models.
+	OSM Name = "osm"
+	// LongLat mimics the paper's longitude/latitude transform: smooth
+	// non-linear curvature overlaid with clustered noise.
+	LongLat Name = "longlat"
+	// Uniform draws keys uniformly from the full 64-bit space (globally
+	// linear CDF; a control).
+	Uniform Name = "uniform"
+	// Sequential emits 1..n (perfectly linear; a control).
+	Sequential Name = "sequential"
+)
+
+// Names returns the four paper datasets in the order the paper plots them.
+func Names() []Name { return []Name{FB, Libio, OSM, LongLat} }
+
+// AllNames returns every generator, including synthetic controls.
+func AllNames() []Name {
+	return []Name{FB, Libio, OSM, LongLat, Uniform, Sequential}
+}
+
+// Generate returns n strictly ascending unique keys for the named dataset.
+// It panics on an unknown name (programmer error).
+func Generate(name Name, n int, seed uint64) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	r := xrand.New(seed ^ xrand.HashString(string(name)))
+	switch name {
+	case FB:
+		return genFB(n, r)
+	case Libio:
+		return genLibio(n, r)
+	case OSM:
+		return genOSM(n, r)
+	case LongLat:
+		return genLongLat(n, r)
+	case Uniform:
+		return genUniform(n, r)
+	case Sequential:
+		return genSequential(n)
+	default:
+		panic(fmt.Sprintf("dataset: unknown generator %q", name))
+	}
+}
+
+// KVs returns Generate(name, n, seed) as key/value pairs suitable for
+// Bulkload. Values are a cheap mix of the key so correctness tests can
+// verify payloads.
+func KVs(name Name, n int, seed uint64) []index.KV {
+	keys := Generate(name, n, seed)
+	return Pairs(keys)
+}
+
+// Pairs maps sorted keys to KV pairs with the canonical derived value.
+func Pairs(keys []uint64) []index.KV {
+	pairs := make([]index.KV, len(keys))
+	for i, k := range keys {
+		pairs[i] = index.KV{Key: k, Value: ValueFor(k)}
+	}
+	return pairs
+}
+
+// ValueFor is the canonical value stored for a key in tests and benchmarks.
+func ValueFor(k uint64) uint64 { return k*0x9e3779b97f4a7c15 + 1 }
+
+// --- generators -------------------------------------------------------
+
+// genSequential: 1..n.
+func genSequential(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	return keys
+}
+
+// genUniform: n unique uniform draws, sorted.
+func genUniform(n int, r *xrand.Rng) []uint64 {
+	// Sorted uniform via gap method: exponential(1) gaps normalised to
+	// the 64-bit range give exactly the order statistics of uniform
+	// draws without a sort, and guarantee strict ascent.
+	gaps := make([]float64, n+1)
+	var total float64
+	for i := range gaps {
+		g := r.Exp()
+		gaps[i] = g
+		total += g
+	}
+	keys := make([]uint64, n)
+	const span = float64(math.MaxUint64) * 0.999
+	acc := 0.0
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		acc += gaps[i]
+		k := uint64(acc / total * span)
+		if k <= prev {
+			k = prev + 1
+		}
+		keys[i] = k
+		prev = k
+	}
+	return keys
+}
+
+// genLibio: dense sequential IDs with rare small gaps and occasional short
+// bursts of slightly larger spacing (deleted-repository ranges).
+func genLibio(n int, r *xrand.Rng) []uint64 {
+	keys := make([]uint64, n)
+	cur := uint64(1_000_000)
+	for i := 0; i < n; i++ {
+		switch {
+		case r.Float() < 0.002: // rare medium gap
+			cur += 500 + r.Uint64n(4000)
+		case r.Float() < 0.05: // small gap
+			cur += 2 + r.Uint64n(6)
+		default: // dense run
+			cur++
+		}
+		keys[i] = cur
+	}
+	return keys
+}
+
+// genFB: long dense stretches, occasional million-scale jumps, and a heavy
+// tail in the top percentile (the famous fb outliers).
+func genFB(n int, r *xrand.Rng) []uint64 {
+	keys := make([]uint64, n)
+	cur := uint64(1 << 32)
+	tailStart := n - n/100 // last 1% is the heavy tail
+	for i := 0; i < n; i++ {
+		var gap uint64
+		switch {
+		case i >= tailStart:
+			// Heavy tail: lognormal giant gaps, capped so the running
+			// sum can never overflow the key space.
+			g := math.Exp(30 + 6*r.Norm())
+			if g > 1e15 {
+				g = 1e15
+			}
+			gap = uint64(g) + 1
+		case r.Float() < 0.0005:
+			gap = 1_000_000 + r.Uint64n(50_000_000)
+		case r.Float() < 0.3:
+			gap = 1 + r.Uint64n(20)
+		default:
+			gap = 1 + r.Uint64n(4)
+		}
+		cur = step(cur, gap, n-i)
+		keys[i] = cur
+	}
+	return keys
+}
+
+// step advances cur by gap while guaranteeing strict ascent and leaving at
+// least `remaining` units of headroom below MaxUint64 so later keys can
+// still ascend.
+func step(cur, gap uint64, remaining int) uint64 {
+	headroom := math.MaxUint64 - cur
+	reserve := uint64(remaining) + 1
+	if headroom <= reserve {
+		return cur + 1
+	}
+	if gap > headroom-reserve {
+		gap = headroom - reserve
+	}
+	if gap == 0 {
+		gap = 1
+	}
+	return cur + gap
+}
+
+// genOSM: clustered locations. Runs of dense keys (a populated cell)
+// separated by heavy-tailed jumps, with intra-run gap variance high enough
+// that no long linear model fits — the paper's hardest dataset.
+func genOSM(n int, r *xrand.Rng) []uint64 {
+	keys := make([]uint64, n)
+	cur := uint64(1 << 40)
+	i := 0
+	for i < n {
+		run := 20 + int(r.Uint64n(400)) // cluster size
+		if i+run > n {
+			run = n - i
+		}
+		for j := 0; j < run; j++ {
+			// Pareto-ish intra-cluster gaps: mostly small, often huge
+			// relative to neighbours, so local slope varies wildly.
+			g := uint64(math.Pow(r.Float()+1e-9, -1.3))
+			cur = step(cur, 1+g+r.Uint64n(64), n-i)
+			keys[i] = cur
+			i++
+		}
+		// Inter-cluster jump.
+		cur = step(cur, 1_000_000+uint64(math.Exp(14+4*r.Norm())), n-i)
+	}
+	return keys
+}
+
+// genLongLat: smooth non-linear curvature (the lon/lat transform bends the
+// CDF) overlaid with clustered noise around synthetic population centres.
+func genLongLat(n int, r *xrand.Rng) []uint64 {
+	keys := make([]uint64, n)
+	cur := uint64(1 << 36)
+	for i := 0; i < n; i++ {
+		// Curvature term: slope oscillates slowly across the keyspace,
+		// so any fixed-slope model drifts out of bound quickly.
+		phase := float64(i) / float64(n) * 40 * math.Pi
+		curve := 1.0 + 0.95*math.Sin(phase)
+		base := uint64(curve*4096) + 1
+		noise := r.Uint64n(base)
+		if r.Float() < 0.01 { // sparse ocean stretch
+			noise += 1 << 22
+		}
+		cur = step(cur, base+noise, n-i)
+		keys[i] = cur
+	}
+	return keys
+}

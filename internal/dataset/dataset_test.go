@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"altindex/internal/gpl"
+)
+
+func TestGeneratorsSortedUnique(t *testing.T) {
+	for _, name := range AllNames() {
+		for _, n := range []int{1, 2, 100, 50000} {
+			keys := Generate(name, n, 42)
+			if len(keys) != n {
+				t.Fatalf("%s: len=%d want %d", name, len(keys), n)
+			}
+			for i := 1; i < n; i++ {
+				if keys[i] <= keys[i-1] {
+					t.Fatalf("%s: not strictly ascending at %d: %d <= %d",
+						name, i, keys[i], keys[i-1])
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	for _, name := range AllNames() {
+		a := Generate(name, 5000, 7)
+		b := Generate(name, 5000, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: not deterministic at %d", name, i)
+			}
+		}
+		c := Generate(name, 5000, 8)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same && name != Sequential {
+			t.Fatalf("%s: seed has no effect", name)
+		}
+	}
+}
+
+func TestHardnessOrdering(t *testing.T) {
+	// The generators must reproduce the paper's per-dataset hardness:
+	// libio fits with far fewer GPL segments than osm and longlat
+	// (Fig 3a / Fig 6a rely on this ordering).
+	const n = 100000
+	eps := float64(n) / 1000
+	segCount := map[Name]int{}
+	for _, name := range Names() {
+		keys := Generate(name, n, 1)
+		segCount[name] = len(gpl.Partition(keys, eps))
+	}
+	if !(segCount[Libio] < segCount[FB]) {
+		t.Fatalf("libio (%d) should fit with fewer segments than fb (%d)",
+			segCount[Libio], segCount[FB])
+	}
+	if !(segCount[Libio] < segCount[OSM]) {
+		t.Fatalf("libio (%d) should fit with fewer segments than osm (%d)",
+			segCount[Libio], segCount[OSM])
+	}
+	if !(segCount[Libio] < segCount[LongLat]) {
+		t.Fatalf("libio (%d) should fit with fewer segments than longlat (%d)",
+			segCount[Libio], segCount[LongLat])
+	}
+	t.Logf("segments at ε=%v: %v", eps, segCount)
+}
+
+func TestPairsAndValueFor(t *testing.T) {
+	keys := Generate(Libio, 100, 1)
+	pairs := Pairs(keys)
+	for i, kv := range pairs {
+		if kv.Key != keys[i] || kv.Value != ValueFor(keys[i]) {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+	kvs := KVs(Libio, 100, 1)
+	for i := range kvs {
+		if kvs[i] != pairs[i] {
+			t.Fatal("KVs != Pairs∘Generate")
+		}
+	}
+}
+
+func TestQuickAscendingAnySize(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := int(rawN%4096) + 1
+		for _, name := range Names() {
+			keys := Generate(name, n, seed)
+			if len(keys) != n {
+				return false
+			}
+			for i := 1; i < n; i++ {
+				if keys[i] <= keys[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateZeroAndUnknown(t *testing.T) {
+	if got := Generate(FB, 0, 1); got != nil {
+		t.Fatalf("n=0 returned %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown name did not panic")
+		}
+	}()
+	Generate(Name("nope"), 10, 1)
+}

@@ -1,0 +1,44 @@
+package finedex
+
+import (
+	"testing"
+
+	"altindex/internal/dataset"
+	"altindex/internal/index"
+	"altindex/internal/indextest"
+	"altindex/internal/workload"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func() index.Concurrent { return New() })
+}
+
+func TestInsertsFillLevelBins(t *testing.T) {
+	ix := New()
+	keys := dataset.Generate(dataset.Libio, 20000, 1)
+	loaded, pending := workload.SplitLoad(keys, 0.5, 2)
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range pending {
+		_ = ix.Insert(k, dataset.ValueFor(k))
+	}
+	st := ix.StatsMap()
+	if st["bins"] == 0 || st["bin_keys"] == 0 {
+		t.Fatalf("inserts did not populate level bins: %v", st)
+	}
+	if st["bin_keys"] != int64(len(pending)) {
+		t.Fatalf("bin_keys=%d want %d", st["bin_keys"], len(pending))
+	}
+}
+
+func TestModelsFromLPA(t *testing.T) {
+	ix := New()
+	keys := dataset.Generate(dataset.OSM, 30000, 3)
+	if err := ix.Bulkload(dataset.Pairs(keys)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.StatsMap()["models"] < 2 {
+		t.Fatal("osm should need multiple LPA models")
+	}
+}

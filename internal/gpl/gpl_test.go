@@ -1,0 +1,167 @@
+package gpl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"altindex/internal/dataset"
+)
+
+// checkCoverage asserts segments tile the key array exactly.
+func checkCoverage(t *testing.T, keys []uint64, segs []Segment) {
+	t.Helper()
+	off := 0
+	for i, s := range segs {
+		if s.N <= 0 {
+			t.Fatalf("segment %d empty", i)
+		}
+		if s.First != keys[off] {
+			t.Fatalf("segment %d First=%d, want %d", i, s.First, keys[off])
+		}
+		off += s.N
+	}
+	if off != len(keys) {
+		t.Fatalf("segments cover %d keys, want %d", off, len(keys))
+	}
+}
+
+func TestPartitionCoversAllDatasets(t *testing.T) {
+	for _, name := range dataset.AllNames() {
+		keys := dataset.Generate(name, 20000, 1)
+		for _, eps := range []float64{16, 64, 256} {
+			segs := Partition(keys, eps)
+			checkCoverage(t, keys, segs)
+		}
+	}
+}
+
+func TestPartitionErrorBounded(t *testing.T) {
+	// The pessimistic scheme with the midpoint slope keeps every point
+	// within 2ε of its model (the cone width is checked per point but
+	// earlier points can drift by at most another ε).
+	for _, name := range dataset.Names() {
+		keys := dataset.Generate(name, 20000, 2)
+		eps := 64.0
+		off := 0
+		for _, seg := range Partition(keys, eps) {
+			if e := MaxError(keys[off:off+seg.N], seg); e > 2*eps {
+				t.Fatalf("%s: segment error %.1f > 2ε=%.1f (N=%d)", name, e, 2*eps, seg.N)
+			}
+			off += seg.N
+		}
+	}
+}
+
+func TestBiggerEpsilonFewerSegments(t *testing.T) {
+	// Equation (1): N_models is inversely proportional to ε.
+	keys := dataset.Generate(dataset.OSM, 50000, 3)
+	prev := len(Partition(keys, 8))
+	for _, eps := range []float64{16, 32, 64, 128, 256} {
+		n := len(Partition(keys, eps))
+		if n > prev {
+			t.Fatalf("segments grew with ε: %d -> %d at ε=%v", prev, n, eps)
+		}
+		prev = n
+	}
+}
+
+func TestLinearDataOneSegment(t *testing.T) {
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = uint64(i)*10 + 5
+	}
+	segs := Partition(keys, 8)
+	if len(segs) != 1 {
+		t.Fatalf("perfectly linear data produced %d segments", len(segs))
+	}
+	if e := MaxError(keys, segs[0]); e > 1 {
+		t.Fatalf("linear fit error %v", e)
+	}
+}
+
+func TestTinySegments(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(i+1) * 1000
+		}
+		for _, algo := range []func([]uint64, float64) []Segment{Partition, ShrinkingCone, LPA} {
+			segs := algo(keys, 16)
+			total := 0
+			for _, s := range segs {
+				total += s.N
+			}
+			if total != n {
+				t.Fatalf("n=%d: algorithm covered %d keys", n, total)
+			}
+		}
+	}
+}
+
+func TestShrinkingConeCoversAndBounds(t *testing.T) {
+	keys := dataset.Generate(dataset.OSM, 20000, 4)
+	eps := 64.0
+	segs := ShrinkingCone(keys, eps)
+	checkCoverage(t, keys, segs)
+	off := 0
+	for _, seg := range segs {
+		if e := MaxError(keys[off:off+seg.N], seg); e > 2*eps {
+			t.Fatalf("cone segment error %.1f", e)
+		}
+		off += seg.N
+	}
+}
+
+func TestLPACoversAndBounds(t *testing.T) {
+	keys := dataset.Generate(dataset.LongLat, 20000, 5)
+	eps := 64.0
+	segs := LPA(keys, eps)
+	checkCoverage(t, keys, segs)
+	off := 0
+	for _, seg := range segs {
+		// LPA verifies against ε directly.
+		if e := MaxError(keys[off:off+seg.N], seg); e > eps+1e-6 {
+			t.Fatalf("LPA segment error %.1f > ε", e)
+		}
+		off += seg.N
+	}
+}
+
+func TestQuickPartitionProperties(t *testing.T) {
+	f := func(seed int64, rawEps uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(2000)
+		keys := make([]uint64, n)
+		cur := uint64(r.Int63n(1 << 40))
+		for i := range keys {
+			cur += 1 + uint64(r.Int63n(1<<uint(r.Intn(20))))
+			keys[i] = cur
+		}
+		eps := float64(rawEps%512) + 1
+		segs := Partition(keys, eps)
+		off := 0
+		for _, s := range segs {
+			if s.N <= 0 || s.First != keys[off] {
+				return false
+			}
+			if MaxError(keys[off:off+s.N], s) > 2*eps {
+				return false
+			}
+			off += s.N
+		}
+		return off == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictMonotone(t *testing.T) {
+	keys := dataset.Generate(dataset.FB, 5000, 6)
+	for _, seg := range Partition(keys, 64) {
+		if seg.Slope < 0 {
+			t.Fatalf("negative slope %v", seg.Slope)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package index defines the key/value types and the concurrent ordered-index
+// interface shared by ALT-index and every baseline competitor in this
+// repository (ALEX+, LIPP+, FINEdex, XIndex, ART).
+//
+// All indexes map fixed-width 8-byte integer keys to 8-byte values, matching
+// the record format of the paper's SOSD-derived evaluation. Implementations
+// must be safe for concurrent use by multiple goroutines.
+package index
+
+import "errors"
+
+// Key is an 8-byte record key. Radix-based structures operate on the
+// big-endian byte representation so byte order equals numeric order.
+type Key = uint64
+
+// Value is an 8-byte record payload.
+type Value = uint64
+
+// KV is a key/value pair, used for bulk loading and range scans.
+type KV struct {
+	Key   Key
+	Value Value
+}
+
+// Errors returned by index operations.
+var (
+	// ErrKeyNotFound reports a lookup, update or removal of an absent key.
+	ErrKeyNotFound = errors.New("index: key not found")
+	// ErrKeyExists reports an insert of a key that is already present.
+	ErrKeyExists = errors.New("index: key already exists")
+	// ErrUnsortedBulk reports a bulk load whose input is not strictly
+	// ascending by key.
+	ErrUnsortedBulk = errors.New("index: bulk-load input must be sorted and deduplicated")
+)
+
+// Concurrent is the ordered-index contract implemented by every index in
+// this repository. All methods are safe for concurrent use.
+type Concurrent interface {
+	// Name identifies the implementation in benchmark output.
+	Name() string
+
+	// Bulkload replaces the index contents with the given pairs, which
+	// must be strictly ascending by key. It is called once, before any
+	// concurrent access.
+	Bulkload(pairs []KV) error
+
+	// Get returns the value stored for key.
+	Get(key Key) (Value, bool)
+
+	// Insert stores key/value. Inserting an existing key overwrites its
+	// value (upsert), mirroring the paper's workload semantics where
+	// insert streams are pre-deduplicated.
+	Insert(key Key, value Value) error
+
+	// Update overwrites the value of an existing key and reports whether
+	// the key was present.
+	Update(key Key, value Value) bool
+
+	// Remove deletes key and reports whether it was present.
+	Remove(key Key) bool
+
+	// Scan visits up to n pairs with keys >= start in ascending key
+	// order, returning the number visited. The callback must not retain
+	// references into the index.
+	Scan(start Key, n int, fn func(Key, Value) bool) int
+
+	// MemoryUsage returns the approximate heap bytes retained by the
+	// index structure (excluding transient allocation).
+	MemoryUsage() uintptr
+
+	// Len returns the number of live keys. It may be approximate while
+	// writers are active but is exact in quiescent states.
+	Len() int
+}
+
+// Stats is optionally implemented by indexes that expose internal counters
+// used by the paper's "inside analysis" experiments (Fig 10).
+type Stats interface {
+	// StatsMap returns implementation-specific counters, e.g. model
+	// counts, layer sizes, fast-pointer counts.
+	StatsMap() map[string]int64
+}

@@ -1,0 +1,320 @@
+// Package indextest provides a reusable conformance suite for
+// index.Concurrent implementations. Every index in this repository — ALT
+// and all five baselines — must pass the same behavioural contract, which
+// keeps the benchmark comparisons apples-to-apples.
+package indextest
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"altindex/internal/dataset"
+	"altindex/internal/index"
+	"altindex/internal/workload"
+)
+
+// Factory builds a fresh, empty index for each subtest.
+type Factory func() index.Concurrent
+
+// closeIfCloser stops background machinery (e.g. XIndex's compactor).
+func closeIfCloser(ix index.Concurrent) {
+	if c, ok := ix.(io.Closer); ok {
+		_ = c.Close()
+	}
+}
+
+// Run executes the full conformance suite.
+func Run(t *testing.T, factory Factory) {
+	t.Run("BulkloadGet", func(t *testing.T) { testBulkloadGet(t, factory) })
+	t.Run("UnsortedBulkRejected", func(t *testing.T) { testUnsorted(t, factory) })
+	t.Run("InsertGet", func(t *testing.T) { testInsertGet(t, factory) })
+	t.Run("UpsertUpdate", func(t *testing.T) { testUpsertUpdate(t, factory) })
+	t.Run("Remove", func(t *testing.T) { testRemove(t, factory) })
+	t.Run("ScanOrdered", func(t *testing.T) { testScan(t, factory) })
+	t.Run("RandomOpsVersusMap", func(t *testing.T) { testVersusMap(t, factory) })
+	t.Run("ConcurrentReadWrite", func(t *testing.T) { testConcurrent(t, factory) })
+	t.Run("MemoryUsagePositive", func(t *testing.T) { testMemory(t, factory) })
+}
+
+func testBulkloadGet(t *testing.T, factory Factory) {
+	for _, name := range dataset.Names() {
+		ix := factory()
+		keys := dataset.Generate(name, 12000, 1)
+		if err := ix.Bulkload(dataset.Pairs(keys)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ix.Len() != len(keys) {
+			t.Fatalf("%s: Len=%d want %d", name, ix.Len(), len(keys))
+		}
+		for _, k := range keys {
+			if v, ok := ix.Get(k); !ok || v != dataset.ValueFor(k) {
+				t.Fatalf("%s: Get(%d)=(%d,%v)", name, k, v, ok)
+			}
+		}
+		for i := 1; i < len(keys); i += 173 {
+			if gap := keys[i] - keys[i-1]; gap > 2 {
+				if _, ok := ix.Get(keys[i-1] + gap/2); ok {
+					t.Fatalf("%s: phantom key", name)
+				}
+			}
+		}
+		closeIfCloser(ix)
+	}
+}
+
+func testUnsorted(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	if err := ix.Bulkload([]index.KV{{Key: 5}, {Key: 4}}); err != index.ErrUnsortedBulk {
+		t.Fatalf("err=%v want ErrUnsortedBulk", err)
+	}
+}
+
+func testInsertGet(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	keys := dataset.Generate(dataset.OSM, 16000, 2)
+	loaded, pending := workload.SplitLoad(keys, 0.5, 3)
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range pending {
+		if err := ix.Insert(k, dataset.ValueFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len=%d want %d", ix.Len(), len(keys))
+	}
+	for _, k := range keys {
+		if v, ok := ix.Get(k); !ok || v != dataset.ValueFor(k) {
+			t.Fatalf("Get(%d)=(%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func testUpsertUpdate(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	keys := dataset.Generate(dataset.Libio, 4000, 4)
+	if err := ix.Bulkload(dataset.Pairs(keys)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(keys); i += 5 {
+		_ = ix.Insert(keys[i], 1000+uint64(i))
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("upsert changed Len to %d", ix.Len())
+	}
+	for i := 0; i < len(keys); i += 5 {
+		if v, _ := ix.Get(keys[i]); v != 1000+uint64(i) {
+			t.Fatalf("upsert lost at %d", i)
+		}
+	}
+	if !ix.Update(keys[1], 7) {
+		t.Fatal("Update(present) = false")
+	}
+	if v, _ := ix.Get(keys[1]); v != 7 {
+		t.Fatal("Update value lost")
+	}
+	if ix.Update(keys[len(keys)-1]+999999, 1) {
+		t.Fatal("Update(absent) = true")
+	}
+}
+
+func testRemove(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	keys := dataset.Generate(dataset.FB, 8000, 5)
+	if err := ix.Bulkload(dataset.Pairs(keys)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(keys); i += 3 {
+		if !ix.Remove(keys[i]) {
+			t.Fatalf("Remove(%d)=false", keys[i])
+		}
+	}
+	if ix.Remove(keys[0]) {
+		t.Fatal("double remove")
+	}
+	for i, k := range keys {
+		_, ok := ix.Get(k)
+		if (i%3 == 0) == ok {
+			t.Fatalf("key %d removed=%v visible=%v", k, i%3 == 0, ok)
+		}
+	}
+	// Reinsert removed keys.
+	for i := 0; i < len(keys); i += 3 {
+		if err := ix.Insert(keys[i], 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len=%d after reinsert, want %d", ix.Len(), len(keys))
+	}
+	for i := 0; i < len(keys); i += 3 {
+		if v, ok := ix.Get(keys[i]); !ok || v != 42 {
+			t.Fatalf("reinserted key %d = (%d,%v)", keys[i], v, ok)
+		}
+	}
+}
+
+func testScan(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	keys := dataset.Generate(dataset.LongLat, 10000, 6)
+	loaded, pending := workload.SplitLoad(keys, 0.7, 7)
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range pending {
+		_ = ix.Insert(k, dataset.ValueFor(k))
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for trial := 0; trial < 40; trial++ {
+		start := sorted[(trial*251)%len(sorted)]
+		limit := 1 + (trial*7)%120
+		first := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= start })
+		want := len(sorted) - first
+		if want > limit {
+			want = limit
+		}
+		var got []uint64
+		n := ix.Scan(start, limit, func(k, v uint64) bool {
+			got = append(got, k)
+			if v != dataset.ValueFor(k) {
+				t.Fatalf("scan value mismatch at %d", k)
+			}
+			return true
+		})
+		if n != want {
+			t.Fatalf("Scan(%d,%d)=%d want %d", start, limit, n, want)
+		}
+		for i := range got {
+			if got[i] != sorted[first+i] {
+				t.Fatalf("scan item %d = %d want %d", i, got[i], sorted[first+i])
+			}
+		}
+	}
+}
+
+func testVersusMap(t *testing.T, factory Factory) {
+	base := dataset.Generate(dataset.OSM, 3000, 8)
+	for _, seed := range []int64{1, 7, 42} {
+		ix := factory()
+		if err := ix.Bulkload(dataset.Pairs(base[:1500])); err != nil {
+			t.Fatal(err)
+		}
+		ref := map[uint64]uint64{}
+		for _, k := range base[:1500] {
+			ref[k] = dataset.ValueFor(k)
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 4000; i++ {
+			k := base[r.Intn(len(base))]
+			switch r.Intn(4) {
+			case 0:
+				v := r.Uint64()
+				_ = ix.Insert(k, v)
+				ref[k] = v
+			case 1:
+				got, ok := ix.Get(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("seed %d op %d: Get(%d)=(%d,%v) want (%d,%v)",
+						seed, i, k, got, ok, want, wok)
+				}
+			case 2:
+				_, wok := ref[k]
+				if ix.Remove(k) != wok {
+					t.Fatalf("seed %d op %d: Remove(%d) want %v", seed, i, k, wok)
+				}
+				delete(ref, k)
+			case 3:
+				v := r.Uint64()
+				_, wok := ref[k]
+				if ix.Update(k, v) != wok {
+					t.Fatalf("seed %d op %d: Update(%d) want %v", seed, i, k, wok)
+				}
+				if wok {
+					ref[k] = v
+				}
+			}
+		}
+		if ix.Len() != len(ref) {
+			t.Fatalf("seed %d: Len=%d ref=%d", seed, ix.Len(), len(ref))
+		}
+		for k, want := range ref {
+			if got, ok := ix.Get(k); !ok || got != want {
+				t.Fatalf("seed %d final: Get(%d)=(%d,%v) want %d", seed, k, got, ok, want)
+			}
+		}
+		closeIfCloser(ix)
+	}
+}
+
+func testConcurrent(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	keys := dataset.Generate(dataset.OSM, 30000, 9)
+	loaded, pending := workload.SplitLoad(keys, 0.5, 10)
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	per := len(pending) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for _, k := range pending[w*per : (w+1)*per] {
+				if err := ix.Insert(k, dataset.ValueFor(k)); err != nil {
+					t.Error(err)
+					return
+				}
+				g := loaded[r.Intn(len(loaded))]
+				if v, ok := ix.Get(g); !ok || v != dataset.ValueFor(g) {
+					t.Errorf("concurrent Get(%d)=(%d,%v)", g, v, ok)
+					return
+				}
+				if r.Intn(8) == 0 {
+					ix.Scan(g, 10, func(a, b uint64) bool { return true })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 0; w < workers; w++ {
+		for _, k := range pending[w*per : (w+1)*per] {
+			if v, ok := ix.Get(k); !ok || v != dataset.ValueFor(k) {
+				t.Fatalf("inserted key %d lost (%d,%v)", k, v, ok)
+			}
+		}
+	}
+	for _, k := range loaded {
+		if v, ok := ix.Get(k); !ok || v != dataset.ValueFor(k) {
+			t.Fatalf("loaded key %d lost (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func testMemory(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	keys := dataset.Generate(dataset.Libio, 5000, 11)
+	if err := ix.Bulkload(dataset.Pairs(keys)); err != nil {
+		t.Fatal(err)
+	}
+	if m := ix.MemoryUsage(); m < uintptr(len(keys))*8 {
+		t.Fatalf("MemoryUsage=%d implausibly small", m)
+	}
+}

@@ -1,0 +1,41 @@
+package lipp
+
+import (
+	"testing"
+
+	"altindex/internal/dataset"
+	"altindex/internal/index"
+	"altindex/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func() index.Concurrent { return New() })
+}
+
+func TestConflictsCreateChildren(t *testing.T) {
+	ix := New()
+	keys := dataset.Generate(dataset.OSM, 20000, 1)
+	if err := ix.Bulkload(dataset.Pairs(keys)); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.StatsMap()
+	if st["nodes"] < 2 {
+		t.Fatalf("osm bulkload built no child nodes: %v", st)
+	}
+	if st["depth"] < 2 {
+		t.Fatalf("depth %d, expected conflict chains", st["depth"])
+	}
+}
+
+func TestStatCountersAdvance(t *testing.T) {
+	ix := New()
+	_ = ix.Insert(10, 1)
+	root := ix.root.Load()
+	before := root.stat.Load()
+	for k := uint64(20); k < 120; k++ {
+		_ = ix.Insert(k, k)
+	}
+	if root.stat.Load() <= before {
+		t.Fatal("root statistics counter did not advance on inserts")
+	}
+}

@@ -1,0 +1,89 @@
+package lipp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"altindex/internal/dataset"
+)
+
+func TestPredictMonotoneAndClamped(t *testing.T) {
+	keys := dataset.Generate(dataset.FB, 1000, 1)
+	vals := make([]uint64, len(keys))
+	n := newNode(keys, vals)
+	prev := -1
+	for i := 0; i < len(keys); i++ {
+		s := n.predict(keys[i])
+		if s < prev {
+			t.Fatalf("predict not monotone at %d", i)
+		}
+		if s < 0 || s >= n.nslots {
+			t.Fatalf("predict out of range: %d", s)
+		}
+		prev = s
+	}
+	if n.predict(0) != 0 {
+		t.Fatal("below-range keys must clamp to 0")
+	}
+	if n.predict(^uint64(0)) != n.nslots-1 {
+		t.Fatal("above-range keys must clamp to last slot")
+	}
+}
+
+func TestBuildEveryKeyReachable(t *testing.T) {
+	keys := dataset.Generate(dataset.OSM, 5000, 2)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = keys[i] + 3
+	}
+	root := newNode(keys, vals)
+	var find func(n *node, key uint64) (uint64, bool)
+	find = func(n *node, key uint64) (uint64, bool) {
+		s := n.predict(key)
+		switch n.kinds[s].Load() {
+		case slotData:
+			if n.keys[s].Load() == key {
+				return n.vals[s].Load(), true
+			}
+			return 0, false
+		case slotChild:
+			return find(n.childs[s].Load(), key)
+		}
+		return 0, false
+	}
+	for _, k := range keys {
+		if v, ok := find(root, k); !ok || v != k+3 {
+			t.Fatalf("key %d unreachable after build", k)
+		}
+	}
+}
+
+func TestMinimumNodeSize(t *testing.T) {
+	n := newNode([]uint64{5}, []uint64{50})
+	if n.nslots < 8 {
+		t.Fatalf("nslots=%d", n.nslots)
+	}
+	if n.predict(5) != 0 {
+		t.Fatal("single-key predict")
+	}
+}
+
+func TestQuickTwoKeyChildTerminates(t *testing.T) {
+	// Any two distinct keys must land in distinct slots of their child
+	// node (first at 0, last at nslots-1), so conflict recursion is
+	// finite.
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		n := newNode([]uint64{lo, hi}, []uint64{1, 2})
+		return n.predict(lo) != n.predict(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

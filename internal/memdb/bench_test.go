@@ -1,0 +1,80 @@
+package memdb
+
+import (
+	"testing"
+
+	"altindex/internal/xrand"
+)
+
+func buildBenchTable(b *testing.B, rows int) *Table {
+	b.Helper()
+	tbl := NewDB().CreateTable("bench", 3)
+	for pk := uint64(1); pk <= uint64(rows); pk++ {
+		if err := tbl.Insert(pk*7, []uint64{pk % 100, pk * 10, pk}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func BenchmarkTableGet(b *testing.B) {
+	tbl := buildBenchTable(b, 100_000)
+	r := xrand.New(1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pk := (r.Uint64n(100_000) + 1) * 7
+		if _, err := tbl.Get(pk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableInsert(b *testing.B) {
+	tbl := NewDB().CreateTable("bench", 3)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pk := uint64(i + 1)
+		if err := tbl.Insert(pk, []uint64{pk % 100, pk, pk}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableUpdate(b *testing.B) {
+	tbl := buildBenchTable(b, 100_000)
+	r := xrand.New(2)
+	row := []uint64{1, 2, 3}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pk := (r.Uint64n(100_000) + 1) * 7
+		if err := tbl.Update(pk, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectRange100(b *testing.B) {
+	tbl := buildBenchTable(b, 100_000)
+	r := xrand.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (r.Uint64n(99_000) + 1) * 7
+		tbl.SelectRange(start, 100, func(uint64, []uint64) bool { return true })
+	}
+}
+
+func BenchmarkSecondaryWhere(b *testing.B) {
+	tbl := buildBenchTable(b, 100_000)
+	sec, err := tbl.CreateIndex("by_bucket", 0, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sec.SelectWhere(r.Uint64n(100), 10, func(uint64, []uint64) bool { return true })
+	}
+}

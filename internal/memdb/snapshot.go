@@ -1,0 +1,250 @@
+package memdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"altindex/internal/index"
+)
+
+// Snapshot format: a little-endian binary checkpoint of every table —
+// rows in primary-key order plus secondary-index definitions, so Load can
+// bulkload the primaries (fast path) and rebuild the secondaries.
+//
+//	magic "ALTDB001"
+//	u32 tableCount
+//	per table:
+//	  u32 nameLen, name bytes
+//	  u32 columns, u32 indexCount, u64 rowCount
+//	  per index: u32 nameLen, name, u32 column, u32 colBits
+//	  per row (ascending pk): u64 pk, columns × u64
+//
+// Save requires the database to be quiescent; it is a checkpoint
+// operation, not a hot-path one.
+
+var snapshotMagic = [8]byte{'A', 'L', 'T', 'D', 'B', '0', '0', '1'}
+
+// ErrBadSnapshot reports a corrupt or incompatible snapshot file.
+var ErrBadSnapshot = errors.New("memdb: bad snapshot")
+
+// Save writes a checkpoint of the whole database to path.
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := db.writeSnapshot(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (db *DB) writeSnapshot(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	put32 := func(v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+	put64 := func(v uint64) error { return binary.Write(w, binary.LittleEndian, v) }
+	if _, err := w.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(db.tables))); err != nil {
+		return err
+	}
+	for name, t := range db.tables {
+		if err := put32(uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, name); err != nil {
+			return err
+		}
+		t.imu.RLock()
+		idxs := make([]*Secondary, 0, len(t.secondary))
+		for _, s := range t.secondary {
+			idxs = append(idxs, s)
+		}
+		t.imu.RUnlock()
+		if err := put32(uint32(t.columns)); err != nil {
+			return err
+		}
+		if err := put32(uint32(len(idxs))); err != nil {
+			return err
+		}
+		if err := put64(uint64(t.Len())); err != nil {
+			return err
+		}
+		for _, s := range idxs {
+			if err := put32(uint32(len(s.name))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, s.name); err != nil {
+				return err
+			}
+			if err := put32(uint32(s.column)); err != nil {
+				return err
+			}
+			if err := put32(uint32(s.colBits)); err != nil {
+				return err
+			}
+		}
+		var werr error
+		rows := 0
+		start := uint64(0)
+		for {
+			const batch = 1024
+			var last uint64
+			n := 0
+			t.primary.Scan(start, batch, func(pk, h uint64) bool {
+				last = pk
+				n++
+				if werr = put64(pk); werr != nil {
+					return false
+				}
+				for _, c := range t.rows.read(h) {
+					if werr = put64(c); werr != nil {
+						return false
+					}
+				}
+				rows++
+				return true
+			})
+			if werr != nil {
+				return werr
+			}
+			if n < batch || last == ^uint64(0) {
+				break
+			}
+			start = last + 1
+		}
+		if rows != t.Len() {
+			return fmt.Errorf("%w: table %q changed during save", ErrBadSnapshot, name)
+		}
+	}
+	return nil
+}
+
+// Load reads a checkpoint written by Save into a fresh database.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readSnapshot(bufio.NewReader(f))
+}
+
+func readSnapshot(r io.Reader) (*DB, error) {
+	get32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	get64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	getStr := func() (string, error) {
+		n, err := get32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", ErrBadSnapshot
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: magic mismatch", ErrBadSnapshot)
+	}
+	tableCount, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	db := NewDB()
+	for ti := uint32(0); ti < tableCount; ti++ {
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		columns, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		idxCount, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		rowCount, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		type idxDef struct {
+			name    string
+			col     uint32
+			colBits uint32
+		}
+		defs := make([]idxDef, idxCount)
+		for i := range defs {
+			if defs[i].name, err = getStr(); err != nil {
+				return nil, err
+			}
+			if defs[i].col, err = get32(); err != nil {
+				return nil, err
+			}
+			if defs[i].colBits, err = get32(); err != nil {
+				return nil, err
+			}
+		}
+		t := db.CreateTable(name, int(columns))
+		// Rows arrive pk-ascending: arena-alloc each and bulkload the
+		// primary in one shot.
+		pairs := make([]index.KV, 0, rowCount)
+		row := make([]uint64, columns)
+		var prev uint64
+		for ri := uint64(0); ri < rowCount; ri++ {
+			pk, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			if ri > 0 && pk <= prev {
+				return nil, fmt.Errorf("%w: rows out of order", ErrBadSnapshot)
+			}
+			prev = pk
+			for c := range row {
+				if row[c], err = get64(); err != nil {
+					return nil, err
+				}
+			}
+			pairs = append(pairs, index.KV{Key: pk, Value: t.rows.alloc(row)})
+		}
+		if err := t.primary.Bulkload(pairs); err != nil {
+			return nil, err
+		}
+		t.liveRows.Store(int64(len(pairs)))
+		for _, d := range defs {
+			if _, err := t.CreateIndex(d.name, int(d.col), uint(d.colBits)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,121 @@
+package memdb
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func buildSampleDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	orders := db.CreateTable("orders", 3)
+	for pk := uint64(1); pk <= 500; pk++ {
+		if err := orders.Insert(pk*3, []uint64{pk % 7, pk * 100, pk}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := orders.CreateIndex("by_cust", 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	users := db.CreateTable("users", 1)
+	for pk := uint64(1); pk <= 50; pk++ {
+		if err := users.Insert(pk, []uint64{pk * pk}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := buildSampleDB(t)
+	path := filepath.Join(t.TempDir(), "db.snap")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := loaded.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orders.Len() != 500 || orders.Columns() != 3 {
+		t.Fatalf("orders: len=%d cols=%d", orders.Len(), orders.Columns())
+	}
+	for pk := uint64(1); pk <= 500; pk++ {
+		row, err := orders.Get(pk * 3)
+		if err != nil {
+			t.Fatalf("pk %d: %v", pk*3, err)
+		}
+		if row[0] != pk%7 || row[1] != pk*100 || row[2] != pk {
+			t.Fatalf("pk %d row %v", pk*3, row)
+		}
+	}
+	// The secondary index was rebuilt and is queryable.
+	sec, err := orders.Index("by_cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sec.SelectWhere(3, 1000, func(pk uint64, row []uint64) bool {
+		if row[0] != 3 {
+			t.Fatalf("wrong bucket: %v", row)
+		}
+		return true
+	})
+	if n == 0 {
+		t.Fatal("secondary empty after load")
+	}
+	users, err := loaded.Table("users")
+	if err != nil || users.Len() != 50 {
+		t.Fatalf("users after load: %v len=%d", err, users.Len())
+	}
+	// The loaded DB is writable.
+	if err := orders.Insert(99999, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if row, err := orders.Get(99999); err != nil || row[2] != 3 {
+		t.Fatal("write to loaded DB failed")
+	}
+}
+
+func TestSnapshotBadInput(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	// Corrupt magic.
+	path := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(path, []byte("NOTADB00-garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("err = %v", err)
+	}
+	// Truncated file: valid magic, then EOF mid-structure.
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic[:])
+	buf.Write([]byte{1, 0, 0, 0}) // one table, then nothing
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("truncated snapshot loaded")
+	}
+}
+
+func TestSnapshotEmptyDB(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.snap")
+	if err := NewDB().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("anything"); err == nil {
+		t.Fatal("phantom table")
+	}
+}

@@ -1,0 +1,172 @@
+package xindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferUpsertLookup(t *testing.T) {
+	b := newBuffer(16)
+	if _, _, hit := b.lookup(5); hit {
+		t.Fatal("hit in empty buffer")
+	}
+	if isNew, full := b.upsertLocked(5, 50, 0); !isNew || full {
+		t.Fatal("first upsert")
+	}
+	if v, live, hit := b.lookup(5); !hit || !live || v != 50 {
+		t.Fatalf("lookup after insert: %d %v %v", v, live, hit)
+	}
+	// Overwrite.
+	if isNew, _ := b.upsertLocked(5, 51, 0); isNew {
+		t.Fatal("overwrite reported new")
+	}
+	if v, _, _ := b.lookup(5); v != 51 {
+		t.Fatal("overwrite lost")
+	}
+	// Tombstone.
+	b.upsertLocked(5, 0, 1)
+	if _, live, hit := b.lookup(5); !hit || live {
+		t.Fatal("tombstone not visible")
+	}
+	// Revive.
+	b.upsertLocked(5, 52, 0)
+	if v, live, _ := b.lookup(5); !live || v != 52 {
+		t.Fatal("revive failed")
+	}
+}
+
+func TestBufferStaysSorted(t *testing.T) {
+	b := newBuffer(64)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 64; i++ {
+		b.upsertLocked(uint64(r.Intn(1000)), uint64(i), 0)
+	}
+	n := int(b.n.Load())
+	for i := 1; i < n; i++ {
+		if b.keys[i].Load() <= b.keys[i-1].Load() {
+			t.Fatalf("buffer unsorted at %d", i)
+		}
+	}
+}
+
+func TestBufferFullAndGrow(t *testing.T) {
+	b := newBuffer(16)
+	for i := 0; i < 16; i++ {
+		if _, full := b.upsertLocked(uint64(i*2), 1, 0); full {
+			t.Fatalf("full too early at %d", i)
+		}
+	}
+	if _, full := b.upsertLocked(999, 1, 0); !full {
+		t.Fatal("expected full")
+	}
+	// Upsert of an existing key still works when full.
+	if _, full := b.upsertLocked(4, 9, 0); full {
+		t.Fatal("in-place upsert blocked by full buffer")
+	}
+	big := b.grow()
+	if len(big.keys) != 32 || int(big.n.Load()) != 16 {
+		t.Fatalf("grow: cap=%d n=%d", len(big.keys), big.n.Load())
+	}
+	for i := 0; i < 16; i++ {
+		if _, _, hit := big.lookup(uint64(i * 2)); !hit {
+			t.Fatalf("grow lost key %d", i*2)
+		}
+	}
+	if _, full := big.upsertLocked(999, 1, 0); full {
+		t.Fatal("grown buffer full")
+	}
+}
+
+func TestGDataLocate(t *testing.T) {
+	keys := make([]uint64, 1000)
+	vals := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i)*uint64(i) + 7 // quadratic: nonzero model error
+		vals[i] = keys[i] + 1
+	}
+	g := newGData(keys, vals)
+	if g.errB <= 0 {
+		t.Fatal("no error bound")
+	}
+	for i, k := range keys {
+		pos, ok := g.locate(k)
+		if !ok || pos != i {
+			t.Fatalf("locate(%d) = %d,%v want %d", k, pos, ok, i)
+		}
+	}
+	if _, ok := g.locate(9); ok { // 9 is between 1²+7 and 2²+7
+		t.Fatal("phantom key")
+	}
+	// Dead bits.
+	g.setDead(10)
+	if !g.isDead(10) || g.isDead(11) {
+		t.Fatal("dead bitmap wrong")
+	}
+}
+
+func TestCompactMergesAndDropsTombstones(t *testing.T) {
+	g := &group{}
+	keys := []uint64{10, 20, 30, 40}
+	vals := []uint64{1, 2, 3, 4}
+	g.data.Store(newGData(keys, vals))
+	g.buf.Store(newBuffer(16))
+	b := g.buf.Load()
+	b.upsertLocked(15, 99, 0) // new key
+	b.upsertLocked(20, 22, 0) // overwrite
+	b.upsertLocked(30, 0, 1)  // tombstone
+	g.compact()
+	d := g.data.Load()
+	want := map[uint64]uint64{10: 1, 15: 99, 20: 22, 40: 4}
+	if len(d.keys) != len(want) {
+		t.Fatalf("compacted to %d keys: %v", len(d.keys), d.keys)
+	}
+	if !sort.SliceIsSorted(d.keys, func(i, j int) bool { return d.keys[i] < d.keys[j] }) {
+		t.Fatal("compacted array unsorted")
+	}
+	for i, k := range d.keys {
+		if d.vals[i].Load() != want[k] {
+			t.Fatalf("compacted value for %d = %d, want %d", k, d.vals[i].Load(), want[k])
+		}
+	}
+	if got := int(g.buf.Load().n.Load()); got != 0 {
+		t.Fatalf("buffer not reset: %d", got)
+	}
+}
+
+func TestQuickBufferVersusMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := newBuffer(256)
+		ref := map[uint64]int64{} // -1 tombstone, else value
+		for i := 0; i < 200; i++ {
+			k := uint64(r.Intn(100))
+			if r.Intn(4) == 0 {
+				b.upsertLocked(k, 0, 1)
+				ref[k] = -1
+			} else {
+				v := uint64(r.Intn(1000)) + 1
+				b.upsertLocked(k, v, 0)
+				ref[k] = int64(v)
+			}
+		}
+		for k, rv := range ref {
+			v, live, hit := b.lookup(k)
+			if !hit {
+				return false
+			}
+			if rv == -1 {
+				if live {
+					return false
+				}
+			} else if !live || int64(v) != rv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,418 @@
+// Package xindex reimplements XIndex (Tang et al., PPoPP 2020) — a baseline
+// in the ALT-index paper — with the behaviours that drive its benchmark
+// profile:
+//
+//   - a two-level structure: a flat group directory over group nodes, each
+//     holding an immutable trained data array searched by a linear model
+//     plus bounded binary search (the prediction-error cost of Fig 3b),
+//   - a per-group delta buffer that absorbs all runtime writes; lookups
+//     consult the buffer first, so growing buffers degrade reads,
+//   - *background* compaction goroutines that merge buffers into retrained
+//     arrays (the reason XIndex stays stable under the paper's hot-write
+//     workload, Fig 8b).
+//
+// Close must be called to stop the background compactor; the benchmark
+// harness does so automatically.
+package xindex
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"altindex/internal/gpl"
+	"altindex/internal/index"
+)
+
+const (
+	defaultErrBound = 32   // the error bound XIndex's paper recommends
+	compactTrigger  = 256  // buffer entries that schedule a merge
+	helperTrigger   = 4096 // buffer entries at which writers merge inline
+	compactEvery    = 2 * time.Millisecond
+)
+
+// Index is a concurrent XIndex-style learned index.
+type Index struct {
+	tab  atomic.Pointer[xtable]
+	size atomic.Int64
+
+	// ErrBound is the group-model error bound used when segmenting the
+	// bulk data (its dynamic-RMI equivalent); set before Bulkload.
+	// Defaults to 32.
+	ErrBound int
+
+	bg      sync.WaitGroup
+	stop    chan struct{}
+	started atomic.Bool
+}
+
+type xtable struct {
+	firsts []uint64
+	groups []*group
+}
+
+func (tb *xtable) find(key uint64) *group {
+	lo, hi := 0, len(tb.firsts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tb.firsts[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo - 1
+	if i < 0 {
+		i = 0
+	}
+	return tb.groups[i]
+}
+
+// group is one XIndex group: trained array + delta buffer.
+type group struct {
+	mu   sync.Mutex // guards buffer writes and compaction
+	data atomic.Pointer[gdata]
+	buf  atomic.Pointer[buffer]
+}
+
+// gdata is an immutable trained array with its model and error bound.
+type gdata struct {
+	seg  gpl.Segment
+	errB int
+	keys []uint64
+	vals []atomic.Uint64
+	dead []atomic.Uint64
+}
+
+func newGData(keys, vals []uint64) *gdata {
+	g := &gdata{}
+	if len(keys) == 0 {
+		g.seg = gpl.Segment{Slope: 1}
+		g.errB = 1
+		return g
+	}
+	g.seg = gpl.FitLeastSquares(keys)
+	g.errB = int(gpl.MaxError(keys, g.seg)) + 1
+	g.keys = append([]uint64(nil), keys...)
+	g.vals = make([]atomic.Uint64, len(keys))
+	for i, v := range vals {
+		g.vals[i].Store(v)
+	}
+	g.dead = make([]atomic.Uint64, (len(keys)+63)/64)
+	return g
+}
+
+// locate returns the position of key, or ok=false, via the model prediction
+// plus binary search within the error bound.
+func (g *gdata) locate(key uint64) (int, bool) {
+	n := len(g.keys)
+	if n == 0 {
+		return 0, false
+	}
+	pred := int(g.seg.Predict(key))
+	lo := pred - g.errB
+	hi := pred + g.errB + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= n {
+		lo = n - 1
+	}
+	// Runtime keys were not part of the fit: widen if the window misses.
+	if lo > 0 && g.keys[lo] > key {
+		lo = 0
+	}
+	if hi < n && g.keys[hi-1] < key {
+		hi = n
+	}
+	i := lo + sort.Search(hi-lo, func(j int) bool { return g.keys[lo+j] >= key })
+	return i, i < n && g.keys[i] == key
+}
+
+func (g *gdata) isDead(i int) bool {
+	return len(g.dead) > 0 && g.dead[i>>6].Load()&(1<<(uint(i)&63)) != 0
+}
+
+func (g *gdata) setDead(i int) {
+	for {
+		old := g.dead[i>>6].Load()
+		if g.dead[i>>6].CompareAndSwap(old, old|1<<(uint(i)&63)) {
+			return
+		}
+	}
+}
+
+// buffer is the group's delta buffer: a sorted array with a seqlock so
+// readers stay lock-free. Entries may be tombstones (del=1), which shadow
+// the trained array.
+type buffer struct {
+	ver  atomic.Uint64
+	n    atomic.Int32
+	keys []atomic.Uint64
+	vals []atomic.Uint64
+	del  []atomic.Uint32
+}
+
+func newBuffer(capacity int) *buffer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &buffer{
+		keys: make([]atomic.Uint64, capacity),
+		vals: make([]atomic.Uint64, capacity),
+		del:  make([]atomic.Uint32, capacity),
+	}
+}
+
+// lookup finds key in the buffer. hit=false means the buffer has no entry;
+// otherwise live reports whether the entry is a value (true) or tombstone.
+func (b *buffer) lookup(key uint64) (val uint64, live, hit bool) {
+	for {
+		v := b.ver.Load()
+		if v&1 != 0 {
+			continue
+		}
+		n := int(b.n.Load())
+		if n > len(b.keys) {
+			n = len(b.keys)
+		}
+		lo := sort.Search(n, func(i int) bool { return b.keys[i].Load() >= key })
+		val, live, hit = 0, false, false
+		if lo < n && b.keys[lo].Load() == key {
+			hit = true
+			live = b.del[lo].Load() == 0
+			val = b.vals[lo].Load()
+		}
+		if b.ver.Load() == v {
+			return val, live, hit
+		}
+	}
+}
+
+// upsertLocked inserts or overwrites key (del=1 for a tombstone) and
+// reports whether the entry is new. Caller holds the group lock. Returns
+// grown=true when the buffer was full and the caller must retry on the
+// returned replacement.
+func (b *buffer) upsertLocked(key, val uint64, del uint32) (isNew, full bool) {
+	n := int(b.n.Load())
+	pos := sort.Search(n, func(i int) bool { return b.keys[i].Load() >= key })
+	if pos < n && b.keys[pos].Load() == key {
+		b.ver.Add(1)
+		b.vals[pos].Store(val)
+		b.del[pos].Store(del)
+		b.ver.Add(1)
+		return false, false
+	}
+	if n == len(b.keys) {
+		return false, true
+	}
+	b.ver.Add(1)
+	for i := n; i > pos; i-- {
+		b.keys[i].Store(b.keys[i-1].Load())
+		b.vals[i].Store(b.vals[i-1].Load())
+		b.del[i].Store(b.del[i-1].Load())
+	}
+	b.keys[pos].Store(key)
+	b.vals[pos].Store(val)
+	b.del[pos].Store(del)
+	b.n.Store(int32(n + 1))
+	b.ver.Add(1)
+	return true, false
+}
+
+// grow returns a double-capacity copy. Caller holds the group lock.
+func (b *buffer) grow() *buffer {
+	n := int(b.n.Load())
+	big := newBuffer(len(b.keys) * 2)
+	for i := 0; i < n; i++ {
+		big.keys[i].Store(b.keys[i].Load())
+		big.vals[i].Store(b.vals[i].Load())
+		big.del[i].Store(b.del[i].Load())
+	}
+	big.n.Store(int32(n))
+	return big
+}
+
+var _ index.Concurrent = (*Index)(nil)
+var _ index.Stats = (*Index)(nil)
+
+// New returns an empty index. The background compactor starts on the first
+// Bulkload.
+func New() *Index {
+	return &Index{stop: make(chan struct{})}
+}
+
+// Name implements index.Concurrent.
+func (ix *Index) Name() string { return "XIndex" }
+
+// Len returns the number of live keys.
+func (ix *Index) Len() int { return int(ix.size.Load()) }
+
+// Close stops the background compaction goroutine. Safe to call more than
+// once.
+func (ix *Index) Close() error {
+	if ix.started.CompareAndSwap(true, false) {
+		close(ix.stop)
+		ix.bg.Wait()
+	}
+	return nil
+}
+
+// Bulkload replaces the index contents and starts the background
+// compactor.
+func (ix *Index) Bulkload(pairs []index.KV) error {
+	keys := make([]uint64, len(pairs))
+	vals := make([]uint64, len(pairs))
+	for i, kv := range pairs {
+		if i > 0 && kv.Key <= keys[i-1] {
+			return index.ErrUnsortedBulk
+		}
+		keys[i] = kv.Key
+		vals[i] = kv.Value
+	}
+	eb := ix.ErrBound
+	if eb <= 0 {
+		eb = defaultErrBound
+	}
+	var firsts []uint64
+	var groups []*group
+	if len(keys) == 0 {
+		g := &group{}
+		g.data.Store(newGData(nil, nil))
+		g.buf.Store(newBuffer(compactTrigger))
+		firsts = []uint64{0}
+		groups = []*group{g}
+	} else {
+		// Dynamic-RMI-style segmentation: greedy single-pass groups
+		// bounded by the error bound (ShrinkingCone), refit per group.
+		segs := gpl.ShrinkingCone(keys, float64(eb))
+		off := 0
+		for _, seg := range segs {
+			end := off + seg.N
+			g := &group{}
+			g.data.Store(newGData(keys[off:end], vals[off:end]))
+			g.buf.Store(newBuffer(compactTrigger))
+			first := keys[off]
+			if off == 0 {
+				first = 0
+			}
+			firsts = append(firsts, first)
+			groups = append(groups, g)
+			off = end
+		}
+	}
+	ix.tab.Store(&xtable{firsts: firsts, groups: groups})
+	ix.size.Store(int64(len(keys)))
+	if ix.started.CompareAndSwap(false, true) {
+		ix.bg.Add(1)
+		go ix.compactor()
+	}
+	return nil
+}
+
+// compactor is the background retraining thread: it periodically merges
+// every group whose buffer crossed the trigger.
+func (ix *Index) compactor() {
+	defer ix.bg.Done()
+	ticker := time.NewTicker(compactEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ix.stop:
+			return
+		case <-ticker.C:
+			tb := ix.tab.Load()
+			if tb == nil {
+				continue
+			}
+			for _, g := range tb.groups {
+				if b := g.buf.Load(); b != nil && int(b.n.Load()) >= compactTrigger {
+					g.compact()
+				}
+			}
+		}
+	}
+}
+
+// compact merges the group's buffer into a retrained array.
+func (g *group) compact() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.buf.Load()
+	n := int(b.n.Load())
+	if n == 0 {
+		return
+	}
+	data := g.data.Load()
+	keys := make([]uint64, 0, len(data.keys)+n)
+	vals := make([]uint64, 0, len(data.keys)+n)
+	i, j := 0, 0
+	for i < len(data.keys) || j < n {
+		switch {
+		case j >= n || (i < len(data.keys) && data.keys[i] < b.keys[j].Load()):
+			if !data.isDead(i) {
+				keys = append(keys, data.keys[i])
+				vals = append(vals, data.vals[i].Load())
+			}
+			i++
+		case i >= len(data.keys) || data.keys[i] > b.keys[j].Load():
+			if b.del[j].Load() == 0 {
+				keys = append(keys, b.keys[j].Load())
+				vals = append(vals, b.vals[j].Load())
+			}
+			j++
+		default: // same key: the buffer entry is newer
+			if b.del[j].Load() == 0 {
+				keys = append(keys, b.keys[j].Load())
+				vals = append(vals, b.vals[j].Load())
+			}
+			i++
+			j++
+		}
+	}
+	// Publish the merged array first, then the fresh buffer: during the
+	// window the buffer shadows identical (or deleted) entries, which is
+	// consistent either way a reader resolves it.
+	g.data.Store(newGData(keys, vals))
+	g.buf.Store(newBuffer(compactTrigger))
+}
+
+// MemoryUsage approximates retained heap bytes including delta buffers.
+func (ix *Index) MemoryUsage() uintptr {
+	tb := ix.tab.Load()
+	if tb == nil {
+		return 0
+	}
+	total := uintptr(len(tb.firsts)) * 16
+	for _, g := range tb.groups {
+		d := g.data.Load()
+		total += unsafe.Sizeof(gdata{}) + uintptr(len(d.keys))*16 + uintptr(len(d.dead))*8
+		if b := g.buf.Load(); b != nil {
+			total += unsafe.Sizeof(buffer{}) + uintptr(len(b.keys))*(8+8+4)
+		}
+	}
+	return total
+}
+
+// StatsMap implements index.Stats.
+func (ix *Index) StatsMap() map[string]int64 {
+	tb := ix.tab.Load()
+	if tb == nil {
+		return map[string]int64{}
+	}
+	bufKeys := int64(0)
+	for _, g := range tb.groups {
+		if b := g.buf.Load(); b != nil {
+			bufKeys += int64(b.n.Load())
+		}
+	}
+	return map[string]int64{
+		"groups":   int64(len(tb.groups)),
+		"buf_keys": bufKeys,
+	}
+}

@@ -1,0 +1,55 @@
+package xindex
+
+import (
+	"testing"
+	"time"
+
+	"altindex/internal/dataset"
+	"altindex/internal/index"
+	"altindex/internal/indextest"
+	"altindex/internal/workload"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func() index.Concurrent { return New() })
+}
+
+func TestBackgroundCompactionDrainsBuffers(t *testing.T) {
+	ix := New()
+	defer ix.Close()
+	keys := dataset.Generate(dataset.Libio, 40000, 1)
+	loaded, pending := workload.SplitLoad(keys, 0.5, 2)
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range pending {
+		_ = ix.Insert(k, dataset.ValueFor(k))
+	}
+	// The background thread merges buffers over the trigger; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if ix.StatsMap()["buf_keys"] < int64(len(pending)) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := ix.StatsMap()["buf_keys"]; got >= int64(len(pending)) {
+		t.Fatalf("background compaction never ran: %d buffered", got)
+	}
+	for _, k := range keys {
+		if v, ok := ix.Get(k); !ok || v != dataset.ValueFor(k) {
+			t.Fatalf("key %d lost after compaction (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	ix := New()
+	_ = ix.Bulkload(dataset.KVs(dataset.Libio, 100, 1))
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

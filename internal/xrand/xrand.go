@@ -1,0 +1,124 @@
+// Package xrand provides a tiny deterministic PRNG (splitmix64) and a
+// Zipfian generator, used by the dataset and workload generators so that
+// every experiment is reproducible from its seed regardless of math/rand
+// version changes.
+package xrand
+
+import "math"
+
+// Rng is a splitmix64 PRNG. The zero value is usable but fixed-seeded;
+// prefer New.
+type Rng struct{ s uint64 }
+
+// New returns an Rng seeded with seed (a zero seed is replaced with a fixed
+// non-zero constant).
+func New(seed uint64) *Rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rng{s: seed}
+}
+
+// Next returns the next 64 random bits.
+func (r *Rng) Next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0,n). Uint64n(0) is 0.
+func (r *Rng) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.Next() % n
+}
+
+// Intn returns a uniform int in [0,n). Intn(n<=0) is 0.
+func (r *Rng) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float returns a uniform float64 in [0,1).
+func (r *Rng) Float() float64 { return float64(r.Next()>>11) / (1 << 53) }
+
+// Exp returns an Exp(1) variate.
+func (r *Rng) Exp() float64 { return -math.Log(1 - r.Float()) }
+
+// Norm returns a standard normal variate (Box-Muller).
+func (r *Rng) Norm() float64 {
+	u1 := r.Float()
+	for u1 == 0 {
+		u1 = r.Float()
+	}
+	u2 := r.Float()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// HashString returns a 64-bit FNV-1a hash, handy for deriving sub-seeds.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Zipf generates Zipfian-distributed ranks in [0,n) with parameter theta,
+// using the Gray et al. (SIGMOD '94) algorithm — the same generator YCSB
+// uses. Rank 0 is the most popular item. Zipf itself is immutable after
+// construction and safe for concurrent use with per-goroutine Rngs.
+type Zipf struct {
+	n       uint64
+	theta   float64
+	alpha   float64
+	zetan   float64
+	eta     float64
+	zeta2th float64
+}
+
+// NewZipf precomputes the harmonic terms for n items with parameter theta
+// (theta must be in (0,1) ∪ (1,∞); 0.99 is the paper's default). Setup is
+// O(n).
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		n = 1
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2th = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2th/z.zetan)
+	return z
+}
+
+// Rank draws a Zipfian rank in [0,n) using r.
+func (z *Zipf) Rank(r *Rng) uint64 {
+	u := r.Float()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}

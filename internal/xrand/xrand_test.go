@@ -1,0 +1,151 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(5), New(5)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if New(1).Next() == New(2).Next() {
+		t.Fatal("different seeds coincide on first draw")
+	}
+	if New(0).Next() != New(0).Next()-0 && false {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Fatal("zero seed produced zeros")
+	}
+}
+
+func TestFloatRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float out of range: %v", f)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(9)
+	if r.Uint64n(0) != 0 {
+		t.Fatal("Uint64n(0) != 0")
+	}
+	for i := 0; i < 10000; i++ {
+		if v := r.Uint64n(17); v >= 17 {
+			t.Fatalf("Uint64n(17) = %d", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Fatal("Intn of non-positive should be 0")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("norm mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("norm variance %v", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exp mean %v", mean)
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	const n = 10000
+	z := NewZipf(n, 0.99)
+	r := New(17)
+	counts := make([]int, 10)
+	const draws = 200000
+	topDecile := 0
+	for i := 0; i < draws; i++ {
+		rank := z.Rank(r)
+		if rank >= n {
+			t.Fatalf("rank %d out of range", rank)
+		}
+		if rank < n/10 {
+			topDecile++
+		}
+		if rank < 10 {
+			counts[rank]++
+		}
+	}
+	// With θ=0.99 the top 10% of ranks should absorb well over half the
+	// draws, and rank 0 must dominate rank 9.
+	if float64(topDecile)/draws < 0.5 {
+		t.Fatalf("top decile only %.3f of draws", float64(topDecile)/draws)
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("rank 0 (%d) not hotter than rank 9 (%d)", counts[0], counts[9])
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(0, 0.99) // clamps to 1 item
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if z.Rank(r) != 0 {
+			t.Fatal("single-item zipf must return 0")
+		}
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("osm") != HashString("osm") {
+		t.Fatal("hash unstable")
+	}
+	if HashString("osm") == HashString("fb") {
+		t.Fatal("hash collision on test inputs")
+	}
+}
+
+func TestQuickUint64nAlwaysBelow(t *testing.T) {
+	f := func(seed, n uint64) bool {
+		if n == 0 {
+			return New(seed).Uint64n(0) == 0
+		}
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

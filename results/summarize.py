@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Summarise results/experiments_raw.txt: per Fig-7 mix, print each
+dataset's ALT throughput, the best baseline, and the ratio — the numbers
+EXPERIMENTS.md quotes. Stdlib only; rerun after regenerating the raw file.
+"""
+import re
+import sys
+from collections import defaultdict
+
+
+def main(path="results/experiments_raw.txt"):
+    text = open(path).read()
+    sections = re.split(r"\n== ", text)
+    for sec in sections:
+        if not sec.startswith("Fig 7:"):
+            continue
+        title = sec.splitlines()[0]
+        rows = defaultdict(dict)  # dataset -> index -> mops
+        for line in sec.splitlines():
+            m = re.match(
+                r"(ALT-index|ALEX\+|LIPP\+|FINEdex|XIndex|ART)\s+(\w+)\s+([\d.]+)",
+                line,
+            )
+            if m:
+                rows[m.group(2)][m.group(1)] = float(m.group(3))
+        print(f"\n{title}")
+        for ds, byidx in rows.items():
+            alt = byidx.get("ALT-index", 0)
+            base = {k: v for k, v in byidx.items() if k != "ALT-index"}
+            if not base or alt == 0:
+                continue
+            bname, bval = max(base.items(), key=lambda kv: kv[1])
+            print(f"  {ds:8s} ALT={alt:5.2f}  best-baseline={bname}={bval:5.2f}  ratio={alt/bval:4.2f}x")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])
