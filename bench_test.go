@@ -352,6 +352,114 @@ func BenchmarkFig10dBulkload(b *testing.B) {
 	}
 }
 
+// --- batched operations ------------------------------------------------------
+
+// batchStream bulkloads ALT over the full osm dataset and pregenerates a
+// zipfian read-key stream (the YCSB-style locality batching exploits).
+func batchStream(b *testing.B) (*core.ALT, []uint64) {
+	b.Helper()
+	keys := dataset.Generate(dataset.OSM, benchKeys, 1)
+	alt := core.New(core.Options{})
+	if err := alt.Bulkload(dataset.Pairs(keys)); err != nil {
+		b.Fatal(err)
+	}
+	w := workload.New(workload.Config{Mix: workload.ReadOnly, Threads: 1, Seed: 2}, keys, nil)
+	s := w.Stream(0)
+	stream := make([]uint64, 1<<20)
+	for i := range stream {
+		stream[i] = s.Next().Key
+	}
+	return alt, stream
+}
+
+// BenchmarkALTGetBatch compares ALT's native model-grouped GetBatch against
+// the per-key loop fallback on the same zipfian stream, across batch sizes.
+func BenchmarkALTGetBatch(b *testing.B) {
+	alt, stream := batchStream(b)
+	for _, bs := range []int{8, 64, 256} {
+		bs := bs
+		for _, variant := range []struct {
+			name string
+			bt   index.Batcher
+		}{{"native", index.BatchOf(alt)}, {"loop", index.LoopBatcher(alt)}} {
+			variant := variant
+			b.Run(variant.name+"/B="+itoa(bs), func(b *testing.B) {
+				vals := make([]uint64, bs)
+				found := make([]bool, bs)
+				b.ReportAllocs()
+				b.ResetTimer()
+				off := 0
+				for done := 0; done < b.N; done += bs {
+					if off+bs > len(stream) {
+						off = 0
+					}
+					variant.bt.GetBatch(stream[off:off+bs], vals, found)
+					off += bs
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops")
+			})
+		}
+	}
+}
+
+// BenchmarkALTInsertBatch compares native InsertBatch against the loop
+// fallback: bulkload a quarter of the dataset, insert the rest in batches
+// (wrapping into upserts once the fresh-key pool is exhausted).
+func BenchmarkALTInsertBatch(b *testing.B) {
+	keys := dataset.Generate(dataset.OSM, 4*benchKeys, 1)
+	loaded, pending := workload.SplitLoad(keys, 0.25, 3)
+	pairs := make([]index.KV, len(pending))
+	for i, k := range pending {
+		pairs[i] = index.KV{Key: k, Value: dataset.ValueFor(k)}
+	}
+	for _, bs := range []int{8, 64, 256} {
+		bs := bs
+		for _, loop := range []bool{false, true} {
+			loop := loop
+			name := "native"
+			if loop {
+				name = "loop"
+			}
+			b.Run(name+"/B="+itoa(bs), func(b *testing.B) {
+				alt := core.New(core.Options{})
+				if err := alt.Bulkload(dataset.Pairs(loaded)); err != nil {
+					b.Fatal(err)
+				}
+				bt := index.Batcher(alt)
+				if loop {
+					bt = index.LoopBatcher(alt)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				off := 0
+				for done := 0; done < b.N; done += bs {
+					if off+bs > len(pairs) {
+						off = 0
+					}
+					if err := bt.InsertBatch(pairs[off : off+bs]); err != nil {
+						b.Fatal(err)
+					}
+					off += bs
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops")
+			})
+		}
+	}
+}
+
+// BenchmarkALTScan measures repeated 100-key scans; with the pooled scan
+// buffers these run at ~0 allocs/op.
+func BenchmarkALTScan(b *testing.B) {
+	alt, stream := batchStream(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alt.Scan(stream[i%len(stream)], 100, func(uint64, uint64) bool { return true })
+	}
+}
+
 // --- ablations ---------------------------------------------------------------
 
 // BenchmarkAblationRetrain contrasts hot-write inserts with retraining

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"altindex/internal/bench"
@@ -31,8 +32,15 @@ func main() {
 		threads = flag.Int("threads", 0, "worker goroutines (default min(GOMAXPROCS,32))")
 		ops     = flag.Int("ops", 1_000_000, "operations per run")
 		seed    = flag.Uint64("seed", 1, "dataset/workload seed")
+		batch   = flag.String("batch", "", "comma-separated batch sizes for the 'batch' experiment (default 1,8,64,256)")
 	)
 	flag.Parse()
+
+	batchSizes, err := parseBatchSizes(*batch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "altbench: -batch: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -46,7 +54,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	p := bench.Params{Keys: *keys, Threads: *threads, Ops: *ops, Seed: *seed, Out: os.Stdout}
+	p := bench.Params{Keys: *keys, Threads: *threads, Ops: *ops, Seed: *seed,
+		BatchSizes: batchSizes, Out: os.Stdout}
 	ids := expand(*exp)
 	if len(ids) == 0 {
 		fmt.Fprintf(os.Stderr, "altbench: unknown experiment %q (try -list)\n", *exp)
@@ -60,6 +69,23 @@ func main() {
 		}
 		e.Run(p)
 	}
+}
+
+// parseBatchSizes parses the -batch flag ("1,8,64,256"); empty means the
+// experiment default.
+func parseBatchSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad batch size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // expand resolves shorthand ids: "all" runs everything, "fig7"/"fig8"

@@ -11,6 +11,9 @@ import (
 	"altindex"
 )
 
+// maxBatch caps the number of keys one MGET/MPUT request may carry.
+const maxBatch = 4096
+
 // Server is the altdb protocol engine: a single keyspace on one ALT-index.
 // Exposed as a type (rather than inline in main) so tests can drive it over
 // a real connection.
@@ -91,6 +94,62 @@ func (s *Server) dispatch(w *bufio.Writer, line string) {
 		} else {
 			fmt.Fprintln(w, "NIL")
 		}
+	case "MGET":
+		// Batched lookup through the index's native batch path: one
+		// model-table load and amortized routing for the whole request.
+		if len(args) == 0 {
+			fmt.Fprintln(w, "ERR usage: MGET <key> [key ...]")
+			return
+		}
+		if len(args) > maxBatch {
+			fmt.Fprintf(w, "ERR at most %d keys per MGET\n", maxBatch)
+			return
+		}
+		keys := make([]uint64, len(args))
+		for i, a := range args {
+			k, err := strconv.ParseUint(a, 10, 64)
+			if err != nil {
+				fmt.Fprintln(w, "ERR keys are uint64")
+				return
+			}
+			keys[i] = k
+		}
+		vals := make([]uint64, len(keys))
+		found := make([]bool, len(keys))
+		s.idx.GetBatch(keys, vals, found)
+		for i := range keys {
+			if found[i] {
+				fmt.Fprintf(w, "VALUE %d\n", vals[i])
+			} else {
+				fmt.Fprintln(w, "NIL")
+			}
+		}
+		fmt.Fprintln(w, "END")
+	case "MPUT":
+		// Batched upsert via InsertBatch.
+		if len(args) == 0 || len(args)%2 != 0 {
+			fmt.Fprintln(w, "ERR usage: MPUT <key> <value> [key value ...]")
+			return
+		}
+		if len(args)/2 > maxBatch {
+			fmt.Fprintf(w, "ERR at most %d pairs per MPUT\n", maxBatch)
+			return
+		}
+		pairs := make([]altindex.KV, len(args)/2)
+		for i := 0; i < len(args); i += 2 {
+			k, err1 := strconv.ParseUint(args[i], 10, 64)
+			v, err2 := strconv.ParseUint(args[i+1], 10, 64)
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(w, "ERR keys and values are uint64")
+				return
+			}
+			pairs[i/2] = altindex.KV{Key: k, Value: v}
+		}
+		if err := s.idx.InsertBatch(pairs); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(w, "OK %d\n", len(pairs))
 	case "DEL":
 		if len(args) != 1 {
 			fmt.Fprintln(w, "ERR usage: DEL <key>")

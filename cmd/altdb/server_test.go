@@ -132,6 +132,45 @@ func TestScanOverWire(t *testing.T) {
 	}
 }
 
+func TestBatchedCommands(t *testing.T) {
+	addr := startTestServer(t)
+	c := dial(t, addr)
+
+	if got := c.cmd(t, "MPUT 1 10 2 20 3 30"); got != "OK 3" {
+		t.Fatalf("MPUT = %q", got)
+	}
+	rows := c.cmdMulti(t, "MGET 2 9 1 3")
+	want := []string{"VALUE 20", "NIL", "VALUE 10", "VALUE 30"}
+	if len(rows) != len(want) {
+		t.Fatalf("MGET rows = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("MGET row %d = %q, want %q", i, rows[i], want[i])
+		}
+	}
+	// Batched upsert overwrites.
+	if got := c.cmd(t, "MPUT 2 21"); got != "OK 1" {
+		t.Fatalf("MPUT upsert = %q", got)
+	}
+	if rows := c.cmdMulti(t, "MGET 2"); len(rows) != 1 || rows[0] != "VALUE 21" {
+		t.Fatalf("MGET after upsert = %v", rows)
+	}
+	if got := c.cmd(t, "LEN"); got != "VALUE 3" {
+		t.Fatalf("LEN = %q", got)
+	}
+	// Malformed requests.
+	if got := c.cmd(t, "MPUT 1"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("odd MPUT = %q", got)
+	}
+	if got := c.cmd(t, "MGET"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("empty MGET = %q", got)
+	}
+	if got := c.cmd(t, "MGET x"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad MGET key = %q", got)
+	}
+}
+
 func TestConcurrentClients(t *testing.T) {
 	addr := startTestServer(t)
 	const clients = 8

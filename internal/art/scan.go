@@ -1,6 +1,10 @@
 package art
 
-import "altindex/internal/index"
+import (
+	"sync"
+
+	"altindex/internal/index"
+)
 
 // Scan visits up to max pairs with keys >= start in ascending key order and
 // returns the number visited. Results are collected under optimistic
@@ -15,20 +19,8 @@ func (t *Tree) Scan(start uint64, max int, fn func(uint64, uint64) bool) int {
 // ScanRange is Scan bounded above: it visits keys in [start, end]
 // (end inclusive), pruning subtrees outside the window on both sides.
 func (t *Tree) ScanRange(start, end uint64, max int, fn func(uint64, uint64) bool) int {
-	if max <= 0 || end < start {
-		return 0
-	}
-	capHint := max
-	if capHint > 128 {
-		capHint = 128
-	}
-	buf := make([]index.KV, 0, capHint)
-	for attempt := 0; attempt < 8; attempt++ {
-		buf = buf[:0]
-		if t.collect(t.root.Load(), 0, 0, start, end, max, &buf) {
-			break
-		}
-	}
+	bp := scanPool.Get().(*[]index.KV)
+	buf := t.AppendRange((*bp)[:0], start, end, max)
 	n := 0
 	for _, kv := range buf {
 		n++
@@ -36,7 +28,36 @@ func (t *Tree) ScanRange(start, end uint64, max int, fn func(uint64, uint64) boo
 			break
 		}
 	}
+	if cap(buf) <= maxPooledScan {
+		*bp = buf
+	}
+	scanPool.Put(bp)
 	return n
+}
+
+// scanPool recycles result buffers across scans so repeated scans are
+// allocation-free. Buffers that grew past maxPooledScan entries are not
+// retained, bounding the memory the pool can pin.
+var scanPool = sync.Pool{New: func() any { return new([]index.KV) }}
+
+const maxPooledScan = 1 << 16
+
+// AppendRange appends up to max in-window pairs in ascending key order to
+// dst and returns the extended slice. It is the allocation-free core of
+// ScanRange: callers that keep dst alive across scans amortize the result
+// buffer away entirely.
+func (t *Tree) AppendRange(dst []index.KV, start, end uint64, max int) []index.KV {
+	if max <= 0 || end < start {
+		return dst
+	}
+	base := len(dst)
+	for attempt := 0; attempt < 8; attempt++ {
+		dst = dst[:base]
+		if t.collect(t.root.Load(), 0, 0, start, end, base+max, &dst) {
+			break
+		}
+	}
+	return dst
 }
 
 // collect appends in-order pairs >= start from n's subtree. acc carries the

@@ -32,6 +32,14 @@ type Config struct {
 	Seed      uint64
 	// SampleEvery controls latency sampling (default every 16th op).
 	SampleEvery int
+	// BatchSize groups consecutive same-kind Get/Insert operations into
+	// GetBatch/InsertBatch calls of at most this size. 0 or 1 selects the
+	// per-key path. Latency samples then cover a whole batch.
+	BatchSize int
+	// LoopBatch forces the generic per-key loop fallback
+	// (index.LoopBatcher) even when the index natively implements
+	// index.Batcher — the comparison baseline for native batch paths.
+	LoopBatch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -127,7 +135,11 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 			defer wg.Done()
 			s := w.Stream(tid)
 			<-start
-			runThread(ix, s, perThread, cfg.SampleEvery, &hist)
+			if cfg.BatchSize > 1 {
+				runThreadBatched(ix, s, perThread, cfg.BatchSize, cfg.LoopBatch, cfg.SampleEvery, &hist)
+			} else {
+				runThread(ix, s, perThread, cfg.SampleEvery, &hist)
+			}
 		}(tid)
 	}
 	t0 := time.Now()
@@ -181,6 +193,70 @@ func runThread(ix index.Concurrent, s *workload.Stream, ops, sampleEvery int, hi
 			hist.Record(time.Since(t0))
 		}
 	}
+}
+
+// runThreadBatched drives the stream through the batched API: consecutive
+// Get ops accumulate into a GetBatch, consecutive Inserts into an
+// InsertBatch, flushed when the kind changes or the batch fills. Other op
+// kinds run per-key. Each latency sample covers one whole flushed batch.
+func runThreadBatched(ix index.Concurrent, s *workload.Stream, ops, batchSize int, loopBatch bool, sampleEvery int, hist *histogram.Histogram) {
+	bt := index.BatchOf(ix)
+	if loopBatch {
+		bt = index.LoopBatcher(ix)
+	}
+	getKeys := make([]uint64, 0, batchSize)
+	vals := make([]uint64, batchSize)
+	found := make([]bool, batchSize)
+	pairs := make([]index.KV, 0, batchSize)
+	flushes := 0
+	flush := func() {
+		if len(getKeys) == 0 && len(pairs) == 0 {
+			return
+		}
+		flushes++
+		sampled := flushes%sampleEvery == 0
+		var t0 time.Time
+		if sampled {
+			t0 = time.Now()
+		}
+		if len(getKeys) > 0 {
+			bt.GetBatch(getKeys, vals[:len(getKeys)], found[:len(getKeys)])
+			getKeys = getKeys[:0]
+		}
+		if len(pairs) > 0 {
+			_ = bt.InsertBatch(pairs)
+			pairs = pairs[:0]
+		}
+		if sampled {
+			hist.Record(time.Since(t0))
+		}
+	}
+	for i := 0; i < ops; i++ {
+		op := s.Next()
+		switch op.Kind {
+		case workload.Get:
+			if len(pairs) > 0 || len(getKeys) == batchSize {
+				flush()
+			}
+			getKeys = append(getKeys, op.Key)
+		case workload.Insert:
+			if len(getKeys) > 0 || len(pairs) == batchSize {
+				flush()
+			}
+			pairs = append(pairs, index.KV{Key: op.Key, Value: op.Value})
+		default:
+			flush()
+			switch op.Kind {
+			case workload.Update:
+				ix.Update(op.Key, op.Value)
+			case workload.Remove:
+				ix.Remove(op.Key)
+			case workload.Scan:
+				ix.Scan(op.Key, op.N, func(uint64, uint64) bool { return true })
+			}
+		}
+	}
+	flush()
 }
 
 func closeIfCloser(ix index.Concurrent) {

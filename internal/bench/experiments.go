@@ -22,6 +22,9 @@ type Params struct {
 	Ops     int // operations per run (default 1,000,000)
 	Seed    uint64
 	Out     io.Writer
+	// BatchSizes is the batch-size sweep of the batched-throughput
+	// experiment (default {1, 8, 64, 256}).
+	BatchSizes []int
 }
 
 func (p Params) withDefaults() Params {
@@ -39,6 +42,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.Out == nil {
 		p.Out = os.Stdout
+	}
+	if len(p.BatchSizes) == 0 {
+		p.BatchSizes = []int{1, 8, 64, 256}
 	}
 	return p
 }
@@ -74,6 +80,7 @@ func Experiments() []Experiment {
 		{"fig10b", "Fig 10(b): fast pointer count with/without merge", Fig10b},
 		{"fig10c", "Fig 10(c): data split between layers", Fig10c},
 		{"fig10d", "Fig 10(d): bulkload time ALT vs ALEX+ vs LIPP+", Fig10d},
+		{"batch", "Batched throughput: model-grouped batch path vs per-key loop, all indexes", BatchSweep},
 		{"ablation-retrain", "Ablation: ALT hot-write with retraining on/off", AblationRetrain},
 		{"ablation-gap", "Ablation: ALT gap factor sweep, balanced", AblationGap},
 		{"ablation-writeback", "Ablation: ALT write-back scheme on/off", AblationWriteback},
@@ -507,6 +514,52 @@ func Fig10d(p Params) {
 		fmt.Fprintln(tw)
 	}
 	tw.Flush()
+}
+
+// --- batched operations ------------------------------------------------------
+
+// BatchSweep measures what batching buys: every index driven through the
+// batched API (index.BatchOf — native for ALT, the per-key loop for the
+// baselines) across the batch-size sweep, on fb and osm, for a zipfian
+// read-only stream and the balanced mix. The "ALT-loop" row forces ALT
+// through the loop fallback, so native-vs-fallback is read directly off
+// adjacent rows.
+func BatchSweep(p Params) {
+	p = p.withDefaults()
+	header(p, "Batched throughput (Mops/s) vs batch size")
+	fmt.Fprintf(p.Out, "(batch sizes %v; ALT-loop = ALT forced through the per-key fallback)\n", p.BatchSizes)
+	for _, mix := range []workload.Mix{workload.ReadOnly, workload.Balanced} {
+		fmt.Fprintf(p.Out, "\n-- %s --\n", mix.Name)
+		tw := newTable(p.Out)
+		fmt.Fprint(tw, "Index\tDataset")
+		for _, bs := range p.BatchSizes {
+			fmt.Fprintf(tw, "\tB=%d", bs)
+		}
+		fmt.Fprintln(tw)
+		rows := []struct {
+			f    NamedFactory
+			loop bool
+		}{{ALTWith("ALT-index", core.Options{}), false}, {ALTWith("ALT-loop", core.Options{}), true}}
+		for _, f := range Competitors() {
+			rows = append(rows, struct {
+				f    NamedFactory
+				loop bool
+			}{f, true})
+		}
+		for _, row := range rows {
+			for _, ds := range []dataset.Name{dataset.FB, dataset.OSM} {
+				fmt.Fprintf(tw, "%s\t%s", row.f.Name, ds)
+				for _, bs := range p.BatchSizes {
+					r := Run(row.f.New, Config{Dataset: ds, Keys: p.Keys, Mix: mix,
+						Threads: p.Threads, Ops: p.Ops, Seed: p.Seed,
+						BatchSize: bs, LoopBatch: row.loop})
+					fmt.Fprintf(tw, "\t%.2f", r.Mops)
+				}
+				fmt.Fprintln(tw)
+			}
+		}
+		tw.Flush()
+	}
 }
 
 // --- ablations ---------------------------------------------------------------

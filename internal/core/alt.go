@@ -207,16 +207,30 @@ func (t *ALT) fpNode(m *model) *art.Node {
 }
 
 // backoff spins briefly, then yields; used when a slot writer (or a
-// retraining freeze) is in flight. Callers reload the model table each
-// attempt so a frozen model is escaped as soon as the new table lands.
+// retraining freeze) is in flight.
+//
+// Contention contract: attempts 0..16 stay on-CPU with an exponentially
+// growing bounded pause — slot writer critical sections are a handful of
+// stores, so the slot is expected to free within tens of nanoseconds and
+// yielding immediately would trade that for a scheduler round trip. Past
+// 16 attempts the writer is presumed descheduled (or the model frozen for
+// retraining) and the goroutine yields. Callers reload the model table
+// each attempt so a frozen model is escaped as soon as the new table lands.
+//
+// The pause loop feeds runtime.KeepAlive so the compiler cannot prove the
+// body dead and delete it (a `_ = attempt` body is eliminated entirely,
+// which silently turns the pre-Gosched phase into a hot no-op loop of zero
+// iterations' worth of delay).
 func backoff(attempt int) {
 	if attempt > 16 {
 		runtime.Gosched()
 		return
 	}
+	n := uint32(0)
 	for i := 0; i < 2<<uint(attempt&7); i++ {
-		_ = attempt
+		n += uint32(i) | 1
 	}
+	runtime.KeepAlive(n)
 }
 
 // Get implements Algorithm 2 (Search): one model location, one exact
@@ -314,81 +328,87 @@ func (t *ALT) Insert(key, value uint64) error {
 			return nil
 		}
 		m, pos := tab.find(key)
-		s := m.slotOf(key)
-		meta := m.meta[s].Load()
-		if meta&slotLockBit != 0 {
-			backoff(attempt)
-			continue
-		}
-		st := meta & (slotOccupied | slotTomb)
-		switch {
-		case st&slotOccupied != 0:
-			k := m.keys[s].Load()
-			if m.meta[s].Load() != meta {
-				backoff(attempt)
-				continue
-			}
-			if k == key {
-				if !m.acquire(s, meta) {
-					backoff(attempt)
-					continue
-				}
-				m.vals[s].Store(value)
-				m.release(s, meta, slotOccupied)
-				return nil
-			}
-			// Conflict data: evict to ART-OPT via the fast pointer
-			// ("insertion is similar to the lookup", §III-C3). The slot
-			// lock is held across the tree write so a retraining freeze
-			// cannot gather the range while this key is in flight (it
-			// would strand the key in ART with no occupied slot routing
-			// to it).
-			if !m.acquire(s, meta) {
-				backoff(attempt)
-				continue
-			}
-			added := t.tree.PutFrom(t.fpNode(m), key, value)
-			m.release(s, meta, slotOccupied)
-			if added {
-				t.size.Add(1)
-			}
-			m.overflow.Add(1)
-			if !t.opts.DisableFastPointers && m.fastIdx.Load() < 0 {
-				// The model had no fast pointer (the ART was empty when
-				// it was built); now that its range has conflict data,
-				// link it lazily.
-				t.registerFP(tab, m, pos)
-			}
-			t.maybeRetrain(tab, m, pos)
+		if t.insertAt(tab, m, pos, key, value) {
 			return nil
-		case st == 0:
+		}
+		backoff(attempt)
+	}
+}
+
+// insertAt runs one optimistic insert attempt of key at its routed model.
+// It returns false on contention (a locked slot or a metadata race) — the
+// caller must back off, reload the table and reroute. Shared verbatim by
+// the per-key Insert loop and the batched InsertBatch path, so both speak
+// exactly the same slot protocol.
+func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
+	s := m.slotOf(key)
+	meta := m.meta[s].Load()
+	if meta&slotLockBit != 0 {
+		return false
+	}
+	st := meta & (slotOccupied | slotTomb)
+	switch {
+	case st&slotOccupied != 0:
+		k := m.keys[s].Load()
+		if m.meta[s].Load() != meta {
+			return false
+		}
+		if k == key {
 			if !m.acquire(s, meta) {
-				backoff(attempt)
-				continue
+				return false
 			}
-			m.keys[s].Store(key)
 			m.vals[s].Store(value)
 			m.release(s, meta, slotOccupied)
-			m.inserts.Add(1)
+			return true
+		}
+		// Conflict data: evict to ART-OPT via the fast pointer
+		// ("insertion is similar to the lookup", §III-C3). The slot
+		// lock is held across the tree write so a retraining freeze
+		// cannot gather the range while this key is in flight (it
+		// would strand the key in ART with no occupied slot routing
+		// to it).
+		if !m.acquire(s, meta) {
+			return false
+		}
+		added := t.tree.PutFrom(t.fpNode(m), key, value)
+		m.release(s, meta, slotOccupied)
+		if added {
 			t.size.Add(1)
-			return nil
-		default: // tombstone: claim it, clearing any shadowed ART copy.
-			if !m.acquire(s, meta) {
-				backoff(attempt)
-				continue
-			}
-			// The ART removal runs under the slot lock so the key never
-			// exists in both layers and the size stays exact.
-			shadowed := t.tree.Remove(key)
-			m.keys[s].Store(key)
-			m.vals[s].Store(value)
-			m.release(s, meta, slotOccupied)
-			if !shadowed {
-				t.size.Add(1) // fresh key, not an upsert of an ART copy
-			}
-			m.inserts.Add(1)
-			return nil
 		}
+		m.overflow.Add(1)
+		if !t.opts.DisableFastPointers && m.fastIdx.Load() < 0 {
+			// The model had no fast pointer (the ART was empty when
+			// it was built); now that its range has conflict data,
+			// link it lazily.
+			t.registerFP(tab, m, pos)
+		}
+		t.maybeRetrain(tab, m, pos)
+		return true
+	case st == 0:
+		if !m.acquire(s, meta) {
+			return false
+		}
+		m.keys[s].Store(key)
+		m.vals[s].Store(value)
+		m.release(s, meta, slotOccupied)
+		m.inserts.Add(1)
+		t.size.Add(1)
+		return true
+	default: // tombstone: claim it, clearing any shadowed ART copy.
+		if !m.acquire(s, meta) {
+			return false
+		}
+		// The ART removal runs under the slot lock so the key never
+		// exists in both layers and the size stays exact.
+		shadowed := t.tree.Remove(key)
+		m.keys[s].Store(key)
+		m.vals[s].Store(value)
+		m.release(s, meta, slotOccupied)
+		if !shadowed {
+			t.size.Add(1) // fresh key, not an upsert of an ART copy
+		}
+		m.inserts.Add(1)
+		return true
 	}
 }
 

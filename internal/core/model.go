@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"runtime"
 	"sync/atomic"
 
@@ -178,6 +179,170 @@ func (m *model) memory() uintptr {
 type table struct {
 	firsts []uint64
 	models []*model
+
+	// rt caches the batch router (built lazily by the first batched
+	// operation on this table, then shared by all). The directory itself
+	// is immutable, so a router built from it never goes stale.
+	rt atomic.Pointer[router]
+}
+
+// router is a direct-indexed routing accelerator for batched operations.
+// Windows partition the directory's key range [base, base+span) into at
+// most routerWindows equal slices; rt[w] packs the window's model bracket
+// — the rightmost model positions at the window's start and end — into
+// one word, so routing a key is one shift, one load and a short
+// predicated search. The binary search that the per-key path pays on
+// every Get is paid once per table here and amortized over every batch.
+//
+// Clustered directories (OSM-like data packs most models into a small
+// fraction of the key span) defeat a single uniform grid: nearly every
+// query lands in the handful of windows that hold 16-64 models. Windows
+// whose bracket is wider than subWide therefore carry a second-level
+// sub-table of subWindows finer slices (referenced through the entry's
+// high bits), which brings the query-weighted bracket width back to ~1.
+type router struct {
+	base     uint64
+	shift    uint
+	subShift uint
+	rt       []uint64 // lo | hi<<rtIdxBits | subRef<<(2*rtIdxBits)
+	sub      []int32  // flattened (subWindows+1)-entry sub-tables
+}
+
+// routerWindows bounds the router's top-level directory size — small
+// next to any table's slot arrays, and fine enough that most windows of
+// a uniform-ish directory map to exactly one model.
+const (
+	routerWindows = 8192
+	rtIdxBits     = 21
+	rtIdxMask     = 1<<rtIdxBits - 1
+	subWindows    = 64 // second-level fanout (uniform, so shift-only decode)
+	subWide       = 2  // brackets wider than this get a sub-table
+)
+
+// router returns the table's batch router, building it on first use.
+// Concurrent first calls may both build; the CAS keeps one, and losing a
+// duplicate build is harmless because the input is immutable.
+func (tb *table) router() *router {
+	if r := tb.rt.Load(); r != nil {
+		return r
+	}
+	r := buildRouter(tb.firsts)
+	tb.rt.CompareAndSwap(nil, r)
+	return tb.rt.Load()
+}
+
+func buildRouter(fs []uint64) *router {
+	n := len(fs)
+	base := fs[0]
+	span := fs[n-1] - base
+	shift := uint(0)
+	if l, lw := bits.Len64(span), bits.Len(routerWindows); l >= lw {
+		shift = uint(l - lw + 1)
+	}
+	size := int(span>>shift) + 2 // +1 for the end boundary, +1 for the clamp window
+	r := &router{base: base, shift: shift, rt: make([]uint64, size)}
+	// lo[w] = rightmost model whose first key is <= window w's start. The
+	// walk is monotone, which also keeps it correct when window starts
+	// past the last model overflow uint64: by then mi has already reached
+	// n-1 and stays there.
+	lo := make([]int32, size)
+	mi := 0
+	for w := 0; w < size; w++ {
+		ws := base + uint64(w)<<shift
+		for mi+1 < n && fs[mi+1] <= ws {
+			mi++
+		}
+		lo[w] = int32(mi)
+	}
+	canSub := shift >= 6 // subWindows = 1<<6
+	if canSub {
+		r.subShift = shift - 6
+	}
+	for w := 0; w < size; w++ {
+		l := lo[w]
+		h := int32(n - 1)
+		if w+1 < size {
+			h = lo[w+1]
+		}
+		e := uint64(l) | uint64(h)<<rtIdxBits
+		// Second level for wide brackets. The first and the last two
+		// windows stay plain: keys below base or clamped in from above
+		// the span would decode a garbage sub-slice index there (their
+		// key offset does not correspond to the clamped window).
+		if canSub && h-l > subWide && w > 0 && w+2 < size {
+			ref := uint64(len(r.sub)/(subWindows+1)) + 1
+			smi := int(l)
+			ws := base + uint64(w)<<shift
+			for s := 0; s <= subWindows; s++ {
+				ss := ws + uint64(s)<<r.subShift
+				for smi+1 < n && fs[smi+1] <= ss {
+					smi++
+				}
+				r.sub = append(r.sub, int32(smi))
+			}
+			e |= ref << (2 * rtIdxBits)
+		}
+		r.rt[w] = e
+	}
+	return r
+}
+
+// window maps key to its router window, clamped so rt[w] and rt[w+1] are
+// both valid. Small enough to inline into batch loops.
+func (r *router) window(key uint64) int32 {
+	if key <= r.base {
+		return 0
+	}
+	w := (key - r.base) >> r.shift
+	if w >= uint64(len(r.rt)-1) {
+		w = uint64(len(r.rt) - 2)
+	}
+	return int32(w)
+}
+
+// narrow resolves a router bracket [lo, hi] to the model position
+// responsible for key (the rightmost model whose first key is <= key).
+// Takes the firsts slice directly so batch loops can hoist it.
+//
+// The search is branch-free (the conditional add compiles to a predicated
+// move): on clustered directories — OSM-like data packs most models into a
+// small fraction of the key span — queries concentrate exactly where
+// windows hold 16-64 models, and each comparison there is a coin flip, so
+// a branching search would eat a mispredict per level.
+func narrow(fs []uint64, key uint64, lo, hi int) int {
+	// Invariant: the answer lies in [lo, lo+n].
+	n := hi - lo
+	for n > 0 {
+		half := (n + 1) >> 1
+		if fs[lo+half] <= key {
+			lo += half
+		}
+		n -= half
+	}
+	return lo
+}
+
+// bracket decodes key's model bracket [lo, hi] from the router: lo is at
+// most the answer, hi at least, and after the sub-table hop the two are
+// typically equal or one apart.
+func (r *router) bracket(key uint64) (lo, hi int32) {
+	e := r.rt[r.window(key)]
+	lo = int32(e & rtIdxMask)
+	hi = int32(e >> rtIdxBits & rtIdxMask)
+	if ref := e >> (2 * rtIdxBits); ref != 0 {
+		b := (int(ref) - 1) * (subWindows + 1)
+		sw := int((key - r.base) >> r.subShift & (subWindows - 1))
+		lo = r.sub[b+sw]
+		hi = r.sub[b+sw+1]
+	}
+	return lo, hi
+}
+
+// route returns the model position responsible for key (the rightmost
+// model whose first key is <= key).
+func (tb *table) route(r *router, key uint64) int {
+	lo, hi := r.bracket(key)
+	return narrow(tb.firsts, key, int(lo), int(hi))
 }
 
 // find returns the model responsible for key and its table position: the
@@ -198,6 +363,60 @@ func (tb *table) find(key uint64) (*model, int) {
 		i = 0
 	}
 	return tb.models[i], i
+}
+
+// locate is find with a positional hint: it returns the table position
+// responsible for key (the rightmost model whose first key is <= key,
+// clamped to 0), starting the search at hint. A hit on the hint costs two
+// comparisons; a near miss is found by galloping (exponential probing) away
+// from the hint; only a far miss degenerates into the full binary search.
+// Batched operations thread the previous key's position through as the
+// hint, so sorted or locality-heavy key streams route in ~O(1) per key.
+func (tb *table) locate(key uint64, hint int) int {
+	fs := tb.firsts
+	n := len(fs)
+	if n == 0 {
+		return 0
+	}
+	if hint < 0 {
+		hint = 0
+	} else if hint >= n {
+		hint = n - 1
+	}
+	// Establish a bracket [lo, hi) around the answer with the invariant
+	// (lo < 0 || fs[lo] <= key) && (hi == n || fs[hi] > key).
+	var lo, hi int
+	if fs[hint] <= key {
+		lo, hi = hint, hint+1
+		for step := 1; hi < n && fs[hi] <= key; step <<= 1 {
+			lo = hi
+			hi += step
+		}
+		if hi > n {
+			hi = n
+		}
+	} else {
+		lo, hi = hint-1, hint
+		for step := 1; lo >= 0 && fs[lo] > key; step <<= 1 {
+			hi = lo
+			lo -= step
+		}
+		if lo < -1 {
+			lo = -1
+		}
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if fs[mid] <= key {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if lo < 0 {
+		return 0
+	}
+	return lo
 }
 
 // upperBound returns the exclusive key upper bound of the model at

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"altindex/internal/dataset"
+)
+
+// TestRouteMatchesFind checks the two-level router against the directory
+// binary search on clustered (OSM-like) and uniform key distributions:
+// route must agree with find for keys inside, between, below and above
+// the models' ranges. The OSM case is the interesting one — it drives
+// queries through the wide-window sub-tables.
+func TestRouteMatchesFind(t *testing.T) {
+	cases := map[string][]uint64{
+		"osm":     dataset.Generate(dataset.OSM, 50000, 3),
+		"uniform": dataset.Generate(dataset.Uniform, 50000, 3),
+	}
+	for name, keys := range cases {
+		t.Run(name, func(t *testing.T) {
+			a := New(Options{})
+			if err := a.Bulkload(dataset.Pairs(keys)); err != nil {
+				t.Fatal(err)
+			}
+			tab := a.tab.Load()
+			rt := tab.router()
+			rng := rand.New(rand.NewSource(9))
+			check := func(k uint64) {
+				t.Helper()
+				_, want := tab.find(k)
+				if got := tab.route(rt, k); got != want {
+					t.Fatalf("route(%#x) = %d, want %d", k, got, want)
+				}
+			}
+			for i := 0; i < 200000; i++ {
+				// Exact keys, neighbors, and uniform probes across
+				// (and beyond) the key range.
+				k := keys[rng.Intn(len(keys))]
+				check(k)
+				check(k - 1)
+				check(k + 1)
+				check(rng.Uint64())
+			}
+			check(0)
+			check(^uint64(0))
+			for _, f := range tab.firsts {
+				check(f)
+				check(f - 1)
+				check(f + 1)
+			}
+		})
+	}
+}

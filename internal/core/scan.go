@@ -2,9 +2,33 @@ package core
 
 import (
 	"iter"
+	"sync"
 
 	"altindex/internal/index"
 )
+
+// scanBufs is the per-scan scratch: the learned-layer slot stream and the
+// ART-layer result buffer. Pooled so repeated scans allocate nothing.
+type scanBufs struct {
+	learned []index.KV
+	art     []index.KV
+}
+
+var scanBufPool = sync.Pool{New: func() any { return new(scanBufs) }}
+
+// maxPooledScanKV bounds the per-buffer capacity the pool retains, so one
+// giant scan cannot pin its working set forever.
+const maxPooledScanKV = 1 << 16
+
+func putScanBufs(b *scanBufs) {
+	if cap(b.learned) > maxPooledScanKV {
+		b.learned = nil
+	}
+	if cap(b.art) > maxPooledScanKV {
+		b.art = nil
+	}
+	scanBufPool.Put(b)
+}
 
 // Scan visits up to n pairs with keys >= start in ascending order,
 // merging the learned layer's slot stream with the ART layer's tree scan
@@ -14,23 +38,22 @@ func (t *ALT) Scan(start uint64, n int, fn func(uint64, uint64) bool) int {
 	if n <= 0 {
 		return 0
 	}
-	var learned []index.KV
+	bufs := scanBufPool.Get().(*scanBufs)
+	defer putScanBufs(bufs)
 	for attempt := 0; ; attempt++ {
 		tab := t.tab.Load()
 		if len(tab.models) == 0 {
 			return t.tree.Scan(start, n, fn)
 		}
 		var ok bool
-		learned, ok = t.collectLearned(tab, start, n)
+		bufs.learned, ok = t.collectLearned(tab, start, n, bufs.learned[:0])
 		if ok || attempt >= 4 {
 			break
 		}
 	}
-	artBuf := make([]index.KV, 0, minInt(n, 128))
-	t.tree.Scan(start, n, func(k, v uint64) bool {
-		artBuf = append(artBuf, index.KV{Key: k, Value: v})
-		return true
-	})
+	learned := bufs.learned
+	bufs.art = t.tree.AppendRange(bufs.art[:0], start, ^uint64(0), n)
+	artBuf := bufs.art
 
 	emitted := 0
 	i, j := 0, 0
@@ -56,11 +79,12 @@ func (t *ALT) Scan(start uint64, n int, fn func(uint64, uint64) bool) int {
 	return emitted
 }
 
-// collectLearned gathers up to n in-range pairs from the learned layer.
-// ok=false means a slot stayed write-locked (e.g. a retraining freeze) and
-// the caller should reload the table and retry.
-func (t *ALT) collectLearned(tb *table, start uint64, n int) ([]index.KV, bool) {
-	out := make([]index.KV, 0, minInt(n, 128))
+// collectLearned gathers up to n in-range pairs from the learned layer,
+// appending into the caller's (pooled, reset) buffer. ok=false means a
+// slot stayed write-locked (e.g. a retraining freeze) and the caller should
+// reload the table and retry; the partially filled buffer is still returned
+// so its capacity is kept.
+func (t *ALT) collectLearned(tb *table, start uint64, n int, out []index.KV) ([]index.KV, bool) {
 	_, mi := tb.find(start)
 	for ; mi < len(tb.models) && len(out) < n; mi++ {
 		m := tb.models[mi]
@@ -82,7 +106,7 @@ func (t *ALT) collectLearned(tb *table, start uint64, n int) ([]index.KV, bool) 
 				backoff(try)
 			}
 			if !readOK {
-				return nil, false // frozen slot: table about to change
+				return out, false // frozen slot: table about to change
 			}
 			if st&slotOccupied != 0 && k >= start {
 				out = append(out, index.KV{Key: k, Value: v})

@@ -1,0 +1,58 @@
+package index
+
+// Batcher is the optional batched-operation interface. Real memory-DB
+// traffic arrives in streams where consecutive keys repeatedly hit the same
+// few models, so an index that implements Batcher natively can amortize
+// per-operation routing (table loads, model binary searches, tree descents)
+// across a whole batch. Indexes without a native batch path still
+// participate in comparisons through the generic loop fallback (BatchOf /
+// LoopBatcher).
+type Batcher interface {
+	// GetBatch looks up keys[i] for every i, writing the result into
+	// vals[i] and found[i]. vals and found must be at least len(keys)
+	// long. Each individual lookup is linearizable exactly as a per-key
+	// Get would be; the batch as a whole is not atomic with respect to
+	// concurrent writers.
+	GetBatch(keys []Key, vals []Value, found []bool)
+
+	// InsertBatch upserts every pair, with per-pair semantics identical
+	// to Insert. It stops at, and returns, the first error.
+	InsertBatch(pairs []KV) error
+}
+
+// loopBatcher adapts any Concurrent to Batcher with per-key loops. It is
+// the comparison baseline for native batch paths: same semantics, no
+// amortization.
+type loopBatcher struct{ Concurrent }
+
+func (b loopBatcher) GetBatch(keys []Key, vals []Value, found []bool) {
+	for i, k := range keys {
+		vals[i], found[i] = b.Get(k)
+	}
+}
+
+func (b loopBatcher) InsertBatch(pairs []KV) error {
+	for _, kv := range pairs {
+		if err := b.Insert(kv.Key, kv.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchOf returns ix's native Batcher when it implements one, and the
+// generic per-key loop fallback otherwise. Every index in this repository
+// can therefore be driven through the batched API.
+func BatchOf(ix Concurrent) Batcher {
+	if b, ok := ix.(Batcher); ok {
+		return b
+	}
+	return loopBatcher{ix}
+}
+
+// LoopBatcher always returns the per-key loop fallback, even when ix has a
+// native batch path. Benchmarks use it to measure what batching actually
+// buys over the equivalent sequence of single-key calls.
+func LoopBatcher(ix Concurrent) Batcher {
+	return loopBatcher{ix}
+}

@@ -37,6 +37,265 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("RandomOpsVersusMap", func(t *testing.T) { testVersusMap(t, factory) })
 	t.Run("ConcurrentReadWrite", func(t *testing.T) { testConcurrent(t, factory) })
 	t.Run("MemoryUsagePositive", func(t *testing.T) { testMemory(t, factory) })
+	t.Run("BatchMatchesPerKey", func(t *testing.T) { testBatchMatchesPerKey(t, factory) })
+	t.Run("BatchInsert", func(t *testing.T) { testBatchInsert(t, factory) })
+	t.Run("BatchConcurrent", func(t *testing.T) { testBatchConcurrent(t, factory) })
+}
+
+// batchers returns the batched views of ix under test: the preferred one
+// (native when the index implements index.Batcher, e.g. ALT) and the forced
+// per-key loop fallback. Both must behave identically.
+func batchers(ix index.Concurrent) map[string]index.Batcher {
+	return map[string]index.Batcher{
+		"BatchOf":     index.BatchOf(ix),
+		"LoopBatcher": index.LoopBatcher(ix),
+	}
+}
+
+// testBatchMatchesPerKey checks that GetBatch over present, absent, removed
+// and updated keys returns exactly what per-key Get returns, for both the
+// native batch path and the loop fallback, across key orderings (sorted,
+// reversed, shuffled) that exercise the hint/galloping router.
+func testBatchMatchesPerKey(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	keys := dataset.Generate(dataset.OSM, 20000, 21)
+	loaded, pending := workload.SplitLoad(keys, 0.5, 22)
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range pending {
+		if i%2 == 0 {
+			if err := ix.Insert(k, dataset.ValueFor(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < len(loaded); i += 7 {
+		ix.Remove(loaded[i])
+	}
+	// Probe set: everything, plus gap keys that were never inserted.
+	probe := append([]uint64(nil), keys...)
+	for i := 1; i < len(keys); i += 97 {
+		if gap := keys[i] - keys[i-1]; gap > 2 {
+			probe = append(probe, keys[i-1]+gap/2)
+		}
+	}
+	orders := map[string][]uint64{
+		"sorted":   sortedCopy(probe),
+		"reversed": reversedCopy(probe),
+		"shuffled": shuffledCopy(probe, 23),
+	}
+	for bname, bt := range batchers(ix) {
+		for oname, ks := range orders {
+			for _, batchSize := range []int{1, 3, 64, 257, len(ks)} {
+				vals := make([]uint64, batchSize)
+				found := make([]bool, batchSize)
+				for off := 0; off < len(ks); off += batchSize {
+					end := off + batchSize
+					if end > len(ks) {
+						end = len(ks)
+					}
+					chunk := ks[off:end]
+					bt.GetBatch(chunk, vals, found)
+					for i, k := range chunk {
+						wv, wok := ix.Get(k)
+						if found[i] != wok || (wok && vals[i] != wv) {
+							t.Fatalf("%s/%s/B=%d: GetBatch(%d)=(%d,%v) want (%d,%v)",
+								bname, oname, batchSize, k, vals[i], found[i], wv, wok)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// testBatchInsert checks InsertBatch semantics: fresh inserts, upserts of
+// existing keys, and reclaiming removed keys, all visible to both per-key
+// Get and GetBatch afterwards.
+func testBatchInsert(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	keys := dataset.Generate(dataset.FB, 12000, 31)
+	loaded, pending := workload.SplitLoad(keys, 0.5, 32)
+	if err := ix.Bulkload(dataset.Pairs(loaded)); err != nil {
+		t.Fatal(err)
+	}
+	bt := index.BatchOf(ix)
+	var batch []index.KV
+	for _, k := range pending {
+		batch = append(batch, index.KV{Key: k, Value: dataset.ValueFor(k)})
+	}
+	if err := bt.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len=%d want %d", ix.Len(), len(keys))
+	}
+	// Remove every fifth loaded key, then drive one batch that both
+	// reclaims the removed keys (tombstone claims) and upserts every
+	// third key (in-place overwrites).
+	for i := 0; i < len(loaded); i += 5 {
+		ix.Remove(loaded[i])
+	}
+	var upserts []index.KV
+	for i, k := range loaded {
+		if i%5 == 0 || i%3 == 0 {
+			upserts = append(upserts, index.KV{Key: k, Value: 7000 + uint64(i)})
+		}
+	}
+	if err := bt.InsertBatch(upserts); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len=%d after upsert batch, want %d", ix.Len(), len(keys))
+	}
+	for i, k := range loaded {
+		want := dataset.ValueFor(k)
+		if i%5 == 0 || i%3 == 0 {
+			want = 7000 + uint64(i)
+		}
+		if v, ok := ix.Get(k); !ok || v != want {
+			t.Fatalf("after InsertBatch: Get(%d)=(%d,%v) want %d", k, v, ok, want)
+		}
+	}
+}
+
+// testBatchConcurrent races GetBatch/InsertBatch against per-key inserts,
+// removes and (for ALT) the retraining this hot insert stream triggers. A
+// batch must never return a stale value or a phantom hit: bulkloaded keys
+// are immutable here and must always be found with their exact value;
+// writer-owned keys must be either absent or carry the exact written value.
+func testBatchConcurrent(t *testing.T, factory Factory) {
+	ix := factory()
+	defer closeIfCloser(ix)
+	keys := dataset.Generate(dataset.OSM, 40000, 41)
+	// Hot split reserves a consecutive range, the retraining trigger.
+	stable, hot := workload.HotSplit(keys, 0.3, 42)
+	if err := ix.Bulkload(dataset.Pairs(stable)); err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	per := len(hot) / writers
+	var wwg, rwg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: half insert via InsertBatch, half per-key, with periodic
+	// removes and reinserts to churn tombstones.
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			mine := hot[w*per : (w+1)*per]
+			bt := index.BatchOf(ix)
+			if w%2 == 0 {
+				var batch []index.KV
+				for _, k := range mine {
+					batch = append(batch, index.KV{Key: k, Value: dataset.ValueFor(k)})
+					if len(batch) == 64 {
+						if err := bt.InsertBatch(batch); err != nil {
+							t.Error(err)
+							return
+						}
+						batch = batch[:0]
+					}
+				}
+				if err := bt.InsertBatch(batch); err != nil {
+					t.Error(err)
+				}
+			} else {
+				for i, k := range mine {
+					if err := ix.Insert(k, dataset.ValueFor(k)); err != nil {
+						t.Error(err)
+						return
+					}
+					if i%16 == 0 {
+						ix.Remove(k)
+						if err := ix.Insert(k, dataset.ValueFor(k)); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	// Readers: batched lookups over stable keys (must always hit with the
+	// exact value) mixed with hot keys (must be absent or exact).
+	for r := 0; r < 4; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			bt := index.BatchOf(ix)
+			if r%2 == 1 {
+				bt = index.LoopBatcher(ix)
+			}
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			batch := make([]uint64, 128)
+			vals := make([]uint64, 128)
+			found := make([]bool, 128)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range batch {
+					if i%4 == 0 {
+						batch[i] = hot[rng.Intn(len(hot))]
+					} else {
+						batch[i] = stable[rng.Intn(len(stable))]
+					}
+				}
+				bt.GetBatch(batch, vals, found)
+				for i, k := range batch {
+					if i%4 == 0 {
+						if found[i] && vals[i] != dataset.ValueFor(k) {
+							t.Errorf("hot key %d: stale value %d", k, vals[i])
+							return
+						}
+					} else if !found[i] || vals[i] != dataset.ValueFor(k) {
+						t.Errorf("stable key %d: (%d,%v) want (%d,true)",
+							k, vals[i], found[i], dataset.ValueFor(k))
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wwg.Wait()
+	close(stop)
+	rwg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Quiescent check: every hot key its writer inserted last is present.
+	for _, k := range hot[:writers*per] {
+		if v, ok := ix.Get(k); !ok || v != dataset.ValueFor(k) {
+			t.Fatalf("hot key %d lost after join: (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func sortedCopy(keys []uint64) []uint64 {
+	out := append([]uint64(nil), keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func reversedCopy(keys []uint64) []uint64 {
+	out := sortedCopy(keys)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func shuffledCopy(keys []uint64, seed int64) []uint64 {
+	out := append([]uint64(nil), keys...)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
 }
 
 func testBulkloadGet(t *testing.T, factory Factory) {
