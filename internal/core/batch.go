@@ -314,6 +314,14 @@ func (t *ALT) GetBatch(keys []uint64, vals []uint64, found []bool) {
 		return
 	}
 	rt := tab.router()
+	if rt == nil {
+		// Directory too large for the router's packed model indices
+		// (>= 2^rtIdxBits models); the per-key path has no such limit.
+		for i, k := range keys {
+			vals[i], found[i] = t.Get(k)
+		}
+		return
+	}
 
 	g := getScratchPool.Get().(*getScratch)
 	ms := &g.ms
@@ -427,6 +435,10 @@ func (t *ALT) GetBatch(keys []uint64, vals []uint64, found []bool) {
 			}
 		}
 	}
+	// Drop the model pointers before pooling the scratch: a retained
+	// scratch would otherwise pin retired (retrained-away) models' slot
+	// arrays for as long as it sits in the pool.
+	clear(g.ms[:])
 	getScratchPool.Put(g)
 }
 
@@ -436,6 +448,11 @@ func (t *ALT) GetBatch(keys []uint64, vals []uint64, found []bool) {
 // claims, contention, retraining triggers — delegated to the per-key
 // Insert. Duplicate keys in one batch apply in their original order
 // (the routing order is stable), so last-writer-wins is preserved.
+//
+// Pairs are applied in sorted key order, not submission order, and the
+// batch stops at the first error it encounters in that order — so on
+// error the partially-applied prefix and the returned error reflect key
+// order, as the index.Batcher contract permits.
 func (t *ALT) InsertBatch(pairs []index.KV) error {
 	tab := t.tab.Load()
 	// Below insertBatchMin the permutation and grouping cannot pay for

@@ -221,10 +221,15 @@ const (
 
 // router returns the table's batch router, building it on first use.
 // Concurrent first calls may both build; the CAS keeps one, and losing a
-// duplicate build is harmless because the input is immutable.
+// duplicate build is harmless because the input is immutable. Returns nil
+// when the directory has too many models for the router's packed entries
+// to address (2^rtIdxBits); callers must fall back to the per-key path.
 func (tb *table) router() *router {
 	if r := tb.rt.Load(); r != nil {
 		return r
+	}
+	if len(tb.firsts) >= 1<<rtIdxBits {
+		return nil
 	}
 	r := buildRouter(tb.firsts)
 	tb.rt.CompareAndSwap(nil, r)
@@ -242,13 +247,15 @@ func buildRouter(fs []uint64) *router {
 	size := int(span>>shift) + 2 // +1 for the end boundary, +1 for the clamp window
 	r := &router{base: base, shift: shift, rt: make([]uint64, size)}
 	// lo[w] = rightmost model whose first key is <= window w's start. The
-	// walk is monotone, which also keeps it correct when window starts
-	// past the last model overflow uint64: by then mi has already reached
-	// n-1 and stays there.
+	// window starts past the end of an unaligned span can overflow uint64
+	// (either in the shift itself or in the add); windowStart saturates
+	// them at MaxUint64 — a wrapped (small) start would stall the monotone
+	// walk before mi reaches the last models, and the router would then
+	// exclude them from every bracket.
 	lo := make([]int32, size)
 	mi := 0
 	for w := 0; w < size; w++ {
-		ws := base + uint64(w)<<shift
+		ws := windowStart(base, uint64(w), shift)
 		for mi+1 < n && fs[mi+1] <= ws {
 			mi++
 		}
@@ -272,6 +279,9 @@ func buildRouter(fs []uint64) *router {
 		if canSub && h-l > subWide && w > 0 && w+2 < size {
 			ref := uint64(len(r.sub)/(subWindows+1)) + 1
 			smi := int(l)
+			// w+2 < size keeps every sub-boundary ws + s<<subShift at or
+			// below the next window's start <= base+span, so no overflow
+			// handling is needed here.
 			ws := base + uint64(w)<<shift
 			for s := 0; s <= subWindows; s++ {
 				ss := ws + uint64(s)<<r.subShift
@@ -285,6 +295,22 @@ func buildRouter(fs []uint64) *router {
 		r.rt[w] = e
 	}
 	return r
+}
+
+// windowStart returns base + w<<shift saturated at MaxUint64. Near the
+// top of the key space the trailing windows' starts overflow uint64 —
+// either w<<shift sheds high bits or the add wraps — and the build walk
+// above must see them as "past every key", not as small wrapped values.
+func windowStart(base, w uint64, shift uint) uint64 {
+	d := w << shift
+	if d>>shift != w {
+		return ^uint64(0)
+	}
+	ws := base + d
+	if ws < base {
+		return ^uint64(0)
+	}
+	return ws
 }
 
 // window maps key to its router window, clamped so rt[w] and rt[w+1] are

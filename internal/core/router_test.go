@@ -52,3 +52,75 @@ func TestRouteMatchesFind(t *testing.T) {
 		})
 	}
 }
+
+// TestRouterHighSpanOverflow pins the boundary-walk overflow fix: when the
+// directory's key span ends at or near MaxUint64 and is not aligned to the
+// router's window width, the trailing window starts overflow uint64. A
+// wrapped (small) start used to stall the monotone walk, so the last
+// model(s) were excluded from every bracket and route(MaxUint64) pointed
+// below n-1.
+func TestRouterHighSpanOverflow(t *testing.T) {
+	const max = ^uint64(0)
+	mk := func(n int, gen func(i int) uint64) []uint64 {
+		fs := make([]uint64, n)
+		for i := range fs {
+			fs[i] = gen(i)
+		}
+		return fs
+	}
+	cases := map[string][]uint64{
+		// 1000 models whose firsts end exactly at MaxUint64, spaced so
+		// the span is not aligned to the window width (the add overflows).
+		"end-at-max": mk(1000, func(i int) uint64 {
+			return max - uint64(999-i)*0x3f0f0f0f0f0f1
+		}),
+		// Full-range span: base 0, last first MaxUint64. Here w<<shift
+		// itself sheds bits for the clamp window.
+		"full-range": mk(1000, func(i int) uint64 {
+			if i == 999 {
+				return max
+			}
+			return uint64(i) * (max / 1000)
+		}),
+		// Tiny span parked at the very top of the key space (shift == 0,
+		// only the final add wraps).
+		"top-tiny": mk(100, func(i int) uint64 {
+			return max - uint64(99-i)*3
+		}),
+	}
+	for name, fs := range cases {
+		t.Run(name, func(t *testing.T) {
+			tab := &table{firsts: fs, models: make([]*model, len(fs))}
+			rt := tab.router()
+			check := func(k uint64) {
+				t.Helper()
+				_, want := tab.find(k)
+				if got := tab.route(rt, k); got != want {
+					t.Fatalf("route(%#x) = %d, want %d", k, got, want)
+				}
+			}
+			check(max)
+			check(0)
+			for _, f := range fs {
+				check(f)
+				check(f - 1)
+				check(f + 1)
+			}
+		})
+	}
+}
+
+// TestRouterTooManyModels: a directory with >= 2^rtIdxBits models cannot
+// be represented in the router's packed entries, so router() must refuse
+// to build one (the batch path then falls back to per-key routing).
+func TestRouterTooManyModels(t *testing.T) {
+	n := 1 << rtIdxBits
+	fs := make([]uint64, n)
+	for i := range fs {
+		fs[i] = uint64(i) * 8
+	}
+	tab := &table{firsts: fs, models: make([]*model, n)}
+	if rt := tab.router(); rt != nil {
+		t.Fatalf("router() built a router for %d models, want nil", n)
+	}
+}

@@ -16,7 +16,14 @@ type Batcher interface {
 	GetBatch(keys []Key, vals []Value, found []bool)
 
 	// InsertBatch upserts every pair, with per-pair semantics identical
-	// to Insert. It stops at, and returns, the first error.
+	// to Insert. It stops at, and returns, the first error it encounters.
+	// Implementations may apply the pairs in an order other than the
+	// caller's (e.g. grouped by key), with two guarantees: duplicate keys
+	// within the batch apply in their original relative order
+	// (last-writer-wins is preserved), and a nil return means every pair
+	// was applied. On error the batch may be partially applied, and which
+	// pairs made it in — and which error is returned first — can depend
+	// on the processing order, not the submission order.
 	InsertBatch(pairs []KV) error
 }
 
