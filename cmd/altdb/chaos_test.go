@@ -1,0 +1,100 @@
+//go:build failpoint
+
+package main
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"altindex"
+	"altindex/internal/failpoint"
+)
+
+// TestPanicContainment: a handler that panics mid-dispatch must cost only
+// its own connection — the client sees a structured INTERNAL error and a
+// closed socket, every other connection keeps working, and the process
+// survives.
+func TestPanicContainment(t *testing.T) {
+	defer failpoint.DisableAll()
+	_, addr := startServerWith(t, Config{})
+
+	bystander := dial(t, addr)
+	if got := bystander.cmd(t, "SET 1 10"); got != "OK" {
+		t.Fatal(got)
+	}
+
+	victim := dial(t, addr)
+	if err := failpoint.Enable("altdb/dispatch", "1*panic"); err != nil {
+		t.Fatal(err)
+	}
+	got := victim.cmd(t, "GET 1")
+	if !strings.HasPrefix(got, "ERR "+errInternal) {
+		t.Fatalf("panicking dispatch replied %q, want ERR %s ...", got, errInternal)
+	}
+	victim.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if victim.r.Scan() {
+		t.Fatalf("victim connection stayed open after panic: %q", victim.r.Text())
+	}
+
+	// The bystander and fresh dials are unaffected (the 1* program has
+	// exhausted and self-disarmed).
+	if got := bystander.cmd(t, "GET 1"); got != "VALUE 10" {
+		t.Fatalf("bystander after panic = %q", got)
+	}
+	fresh := dial(t, addr)
+	if got := fresh.cmd(t, "LEN"); got != "VALUE 1" {
+		t.Fatalf("fresh client after panic = %q", got)
+	}
+}
+
+// TestShutdownSnapshotCrash: a crash injected into the shutdown snapshot's
+// write sequence must surface from Shutdown and leave the previous
+// checkpoint untouched — the server never replaces good data with a torn
+// file on its way down.
+func TestShutdownSnapshotCrash(t *testing.T) {
+	defer failpoint.DisableAll()
+	path := filepath.Join(t.TempDir(), "altdb.snap")
+
+	// First generation: 50 keys, clean shutdown checkpoint.
+	srv1, addr1 := startServerWith(t, Config{SnapshotPath: path})
+	c1 := dial(t, addr1)
+	for k := 1; k <= 50; k++ {
+		if got := c1.cmd(t, fmt.Sprintf("SET %d %d", k, k)); got != "OK" {
+			t.Fatal(got)
+		}
+	}
+	if err := srv1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second generation: more data, but the shutdown snapshot crashes.
+	srv2, addr2 := startServerWith(t, Config{SnapshotPath: path})
+	c2 := dial(t, addr2)
+	if got := c2.cmd(t, "SET 999 1"); got != "OK" {
+		t.Fatal(got)
+	}
+	if err := failpoint.Enable("snapio/rename", "error(kill -9)"); err != nil {
+		t.Fatal(err)
+	}
+	err := srv2.Shutdown()
+	failpoint.Disable("snapio/rename")
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("crashed shutdown snapshot not surfaced: %v", err)
+	}
+
+	// The checkpoint on disk is still generation one, fully intact.
+	idx, err := altindex.Load(path, altindex.Options{})
+	if err != nil {
+		t.Fatalf("checkpoint unloadable after crashed shutdown: %v", err)
+	}
+	if idx.Len() != 50 {
+		t.Fatalf("checkpoint holds %d keys, want 50", idx.Len())
+	}
+	if _, ok := idx.Get(999); ok {
+		t.Fatal("crashed shutdown leaked generation-two data")
+	}
+}

@@ -1,20 +1,24 @@
 // Command altdb serves a tiny in-memory key/value database over TCP, with
-// ALT-index underneath (via the memdb substrate) — a minimal "memory
-// database system" in the paper's sense.
+// ALT-index underneath — a minimal "memory database system" in the paper's
+// sense, hardened for unattended operation: per-connection deadlines, a
+// connection cap with accept backpressure, per-connection panic containment,
+// crash-safe snapshots and graceful drain on SIGINT/SIGTERM.
 //
 // Protocol: one command per line, space-separated, replies are single
-// lines ("OK", "VALUE <v>", "NIL", "ROW <cols...>", "ERR <msg>", or
-// multi-line scans terminated by "END").
+// lines ("OK", "VALUE <v>", "NIL", "ERR <CODE> <detail>", or multi-line
+// scans terminated by "END").
 //
 //	SET <key> <value>          store/overwrite
 //	GET <key>                  read
 //	DEL <key>                  delete
+//	MGET <key> [key ...]       batched read (max 4096 keys)
+//	MPUT <k> <v> [k v ...]     batched upsert (max 4096 pairs)
 //	SCAN <start> <n>           up to n pairs with key >= start
 //	LEN                        number of keys
 //	STATS                      engine internals
 //	QUIT
 //
-// Start with:  go run ./cmd/altdb -listen 127.0.0.1:7700
+// Start with:  go run ./cmd/altdb -listen 127.0.0.1:7700 -snapshot db.snap
 package main
 
 import (
@@ -23,15 +27,29 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7700", "address to listen on")
+		listen       = flag.String("listen", "127.0.0.1:7700", "address to listen on")
+		snapshot     = flag.String("snapshot", "", "snapshot file: loaded at startup, written on graceful shutdown")
+		maxConns     = flag.Int("max-conns", 256, "max concurrent connections (excess dials wait in the accept backlog)")
+		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-request read deadline")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
 	)
 	flag.Parse()
 
-	srv, err := NewServer()
+	srv, err := NewServerWith(Config{
+		MaxConns:     *maxConns,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		DrainTimeout: *drainTimeout,
+		SnapshotPath: *snapshot,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,5 +58,22 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "altdb listening on %s\n", ln.Addr())
-	log.Fatal(srv.Serve(ln))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		got := <-sig
+		fmt.Fprintf(os.Stderr, "altdb: %v: draining and snapshotting\n", got)
+		shutdownErr <- srv.Shutdown()
+	}()
+
+	if err := srv.Serve(ln); err != ErrServerClosed {
+		log.Fatal(err)
+	}
+	// Serve returned because the signal handler started Shutdown; wait for
+	// the drain and the shutdown snapshot to finish.
+	if err := <-shutdownErr; err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 }

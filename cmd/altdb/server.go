@@ -2,94 +2,320 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"altindex"
+	"altindex/internal/failpoint"
 )
 
 // maxBatch caps the number of keys one MGET/MPUT request may carry.
 const maxBatch = 4096
 
+// maxLineBytes sizes the per-connection line buffer for the largest legal
+// request: an MPUT with maxBatch pairs of 20-digit uint64s plus separators.
+// Longer lines are a protocol violation answered with ERR TOOLONG.
+const maxLineBytes = 2*maxBatch*21 + 64
+
+// ErrServerClosed is returned by Serve after Shutdown stops the listener.
+var ErrServerClosed = errors.New("altdb: server closed")
+
+// fpDispatch fires on every dispatched command; armed with panic it
+// simulates a handler crash inside one connection's goroutine, which the
+// per-connection recovery must contain without taking down the process.
+var fpDispatch = failpoint.New("altdb/dispatch")
+
+// Structured error codes: every ERR reply is "ERR <CODE> <detail...>", so
+// clients can switch on the second token instead of parsing prose.
+const (
+	errUsage    = "USAGE"    // wrong argument shape for the command
+	errBadInt   = "BADINT"   // a key/value token is not a uint64
+	errTooBig   = "TOOBIG"   // batch exceeds maxBatch
+	errTooLong  = "TOOLONG"  // request line exceeds maxLineBytes
+	errUnknown  = "UNKNOWN"  // unrecognized command
+	errInternal = "INTERNAL" // handler panic or engine failure
+)
+
+// Config tunes the server's robustness envelope. Zero values select
+// production defaults (see withDefaults).
+type Config struct {
+	// MaxConns caps concurrently served connections. Excess dials queue
+	// in the kernel accept backlog — backpressure, not errors — until a
+	// slot frees.
+	MaxConns int
+	// ReadTimeout bounds the wait for the next request line; an idle or
+	// stalled-writer client is disconnected when it expires.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds flushing one reply; a client that stops reading
+	// its replies (stalled reader) is disconnected when it expires.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight handlers.
+	DrainTimeout time.Duration
+	// SnapshotPath, when set, is loaded at startup (if present) and
+	// written on graceful shutdown, via the crash-safe snapshot cycle.
+	SnapshotPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns == 0 {
+		c.MaxConns = 256
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
 // Server is the altdb protocol engine: a single keyspace on one ALT-index.
 // Exposed as a type (rather than inline in main) so tests can drive it over
 // a real connection.
 type Server struct {
+	cfg Config
 	idx *altindex.Index
+	sem chan struct{} // connection slots; acquired before Accept
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	ln    net.Listener
+
+	done     chan struct{}
+	shutOnce sync.Once
+	handlers sync.WaitGroup
 }
 
-// NewServer builds an empty database. The index trains its learned layer
-// automatically as data arrives (no bulkload needed).
+// NewServer builds an empty database with default robustness settings. The
+// index trains its learned layer automatically as data arrives.
 func NewServer() (*Server, error) {
-	return &Server{idx: altindex.NewDefault()}, nil
+	return NewServerWith(Config{})
 }
 
-// Serve accepts connections until the listener closes.
+// NewServerWith builds a server with cfg. If cfg.SnapshotPath names an
+// existing snapshot it is loaded; a corrupt snapshot is a startup error
+// (refusing to serve silently-empty data), a missing one starts fresh.
+func NewServerWith(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	idx := altindex.NewDefault()
+	if cfg.SnapshotPath != "" {
+		loaded, err := altindex.Load(cfg.SnapshotPath, altindex.Options{})
+		switch {
+		case err == nil:
+			idx = loaded
+		case errors.Is(err, os.ErrNotExist):
+			// First boot: no snapshot yet.
+		default:
+			return nil, fmt.Errorf("altdb: snapshot %s: %w", cfg.SnapshotPath, err)
+		}
+	}
+	return &Server{
+		cfg:   cfg,
+		idx:   idx,
+		sem:   make(chan struct{}, cfg.MaxConns),
+		conns: map[net.Conn]struct{}{},
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts connections until the listener closes or Shutdown is
+// called. A connection slot is acquired before Accept, so when MaxConns
+// handlers are busy the server stops accepting and excess dials wait in
+// the listen backlog instead of spawning unbounded goroutines.
 func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
 	for {
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.done:
+			return ErrServerClosed
+		}
 		conn, err := ln.Accept()
 		if err != nil {
+			<-s.sem
+			select {
+			case <-s.done:
+				return ErrServerClosed
+			default:
+			}
 			return err
 		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.handlers.Add(1)
 		go s.handle(conn)
 	}
 }
 
+// Shutdown stops accepting, nudges blocked readers off their sockets,
+// waits up to DrainTimeout for in-flight handlers, and finally writes the
+// shutdown snapshot (if configured) — so every acknowledged write is in
+// it. It returns ErrServerClosed-joined errors from a timed-out drain or
+// a failed snapshot.
+func (s *Server) Shutdown() error {
+	s.shutOnce.Do(func() { close(s.done) })
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Unblock handlers parked in Scan: an immediate read deadline makes
+	// the pending read fail while completed replies stay flushed. Writes
+	// keep their own (fresh) deadline, so an in-flight reply finishes.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-time.After(s.cfg.DrainTimeout):
+		err = fmt.Errorf("altdb: %d connections still draining after %v",
+			len(s.snapshotConns()), s.cfg.DrainTimeout)
+	}
+	if s.cfg.SnapshotPath != "" {
+		if serr := altindex.Save(s.idx, s.cfg.SnapshotPath); serr != nil {
+			err = errors.Join(err, fmt.Errorf("altdb: shutdown snapshot: %w", serr))
+		}
+	}
+	return err
+}
+
+func (s *Server) snapshotConns() []net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		<-s.sem
+		s.handlers.Done()
+	}()
+
 	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 64*1024), maxLineBytes)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
-	for r.Scan() {
+
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		if !r.Scan() {
+			if errors.Is(r.Err(), bufio.ErrTooLong) {
+				// The scanner cannot resynchronize mid-line; report and
+				// drop the connection.
+				fmt.Fprintf(w, "ERR %s line exceeds %d bytes\n", errTooLong, maxLineBytes)
+				s.flush(conn, w)
+			}
+			return
+		}
 		line := strings.TrimSpace(r.Text())
 		if line == "" {
 			continue
 		}
 		if strings.EqualFold(line, "QUIT") {
 			fmt.Fprintln(w, "BYE")
-			w.Flush()
+			s.flush(conn, w)
 			return
 		}
-		s.dispatch(w, line)
-		w.Flush()
+		if !s.dispatchRecover(w, line) {
+			s.flush(conn, w)
+			return
+		}
+		if !s.flush(conn, w) {
+			return
+		}
 	}
 }
 
+// flush writes the buffered replies under the write deadline; false means
+// the client is not draining its socket (or is gone) and the connection
+// should be dropped.
+func (s *Server) flush(conn net.Conn, w *bufio.Writer) bool {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return w.Flush() == nil
+}
+
+// dispatchRecover contains a panicking handler to its own connection: the
+// client gets a structured internal error and is disconnected, while every
+// other connection (and the process) keeps serving. ok=false asks the
+// caller to close the connection.
+func (s *Server) dispatchRecover(w *bufio.Writer, line string) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(w, "ERR %s %v\n", errInternal, p)
+			ok = false
+		}
+	}()
+	s.dispatch(w, line)
+	return true
+}
+
 func (s *Server) dispatch(w *bufio.Writer, line string) {
+	fpDispatch.Inject()
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
 	switch cmd {
 	case "SET":
 		if len(args) != 2 {
-			fmt.Fprintln(w, "ERR usage: SET <key> <value>")
+			fmt.Fprintf(w, "ERR %s SET <key> <value>\n", errUsage)
 			return
 		}
-		k, err1 := strconv.ParseUint(args[0], 10, 64)
-		v, err2 := strconv.ParseUint(args[1], 10, 64)
-		if err1 != nil || err2 != nil {
-			fmt.Fprintln(w, "ERR keys and values are uint64")
+		k, ok := parseU64(w, args[0])
+		if !ok {
+			return
+		}
+		v, ok := parseU64(w, args[1])
+		if !ok {
 			return
 		}
 		if err := s.idx.Insert(k, v); err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			fmt.Fprintf(w, "ERR %s %v\n", errInternal, err)
 			return
 		}
 		fmt.Fprintln(w, "OK")
 	case "GET":
 		if len(args) != 1 {
-			fmt.Fprintln(w, "ERR usage: GET <key>")
+			fmt.Fprintf(w, "ERR %s GET <key>\n", errUsage)
 			return
 		}
-		k, err := strconv.ParseUint(args[0], 10, 64)
-		if err != nil {
-			fmt.Fprintln(w, "ERR keys are uint64")
+		k, ok := parseU64(w, args[0])
+		if !ok {
 			return
 		}
-		if v, ok := s.idx.Get(k); ok {
+		if v, found := s.idx.Get(k); found {
 			fmt.Fprintf(w, "VALUE %d\n", v)
 		} else {
 			fmt.Fprintln(w, "NIL")
@@ -98,18 +324,17 @@ func (s *Server) dispatch(w *bufio.Writer, line string) {
 		// Batched lookup through the index's native batch path: one
 		// model-table load and amortized routing for the whole request.
 		if len(args) == 0 {
-			fmt.Fprintln(w, "ERR usage: MGET <key> [key ...]")
+			fmt.Fprintf(w, "ERR %s MGET <key> [key ...]\n", errUsage)
 			return
 		}
 		if len(args) > maxBatch {
-			fmt.Fprintf(w, "ERR at most %d keys per MGET\n", maxBatch)
+			fmt.Fprintf(w, "ERR %s %d keys, max %d per MGET\n", errTooBig, len(args), maxBatch)
 			return
 		}
 		keys := make([]uint64, len(args))
 		for i, a := range args {
-			k, err := strconv.ParseUint(a, 10, 64)
-			if err != nil {
-				fmt.Fprintln(w, "ERR keys are uint64")
+			k, ok := parseU64(w, a)
+			if !ok {
 				return
 			}
 			keys[i] = k
@@ -128,36 +353,37 @@ func (s *Server) dispatch(w *bufio.Writer, line string) {
 	case "MPUT":
 		// Batched upsert via InsertBatch.
 		if len(args) == 0 || len(args)%2 != 0 {
-			fmt.Fprintln(w, "ERR usage: MPUT <key> <value> [key value ...]")
+			fmt.Fprintf(w, "ERR %s MPUT <key> <value> [key value ...]\n", errUsage)
 			return
 		}
 		if len(args)/2 > maxBatch {
-			fmt.Fprintf(w, "ERR at most %d pairs per MPUT\n", maxBatch)
+			fmt.Fprintf(w, "ERR %s %d pairs, max %d per MPUT\n", errTooBig, len(args)/2, maxBatch)
 			return
 		}
 		pairs := make([]altindex.KV, len(args)/2)
 		for i := 0; i < len(args); i += 2 {
-			k, err1 := strconv.ParseUint(args[i], 10, 64)
-			v, err2 := strconv.ParseUint(args[i+1], 10, 64)
-			if err1 != nil || err2 != nil {
-				fmt.Fprintln(w, "ERR keys and values are uint64")
+			k, ok := parseU64(w, args[i])
+			if !ok {
+				return
+			}
+			v, ok := parseU64(w, args[i+1])
+			if !ok {
 				return
 			}
 			pairs[i/2] = altindex.KV{Key: k, Value: v}
 		}
 		if err := s.idx.InsertBatch(pairs); err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			fmt.Fprintf(w, "ERR %s %v\n", errInternal, err)
 			return
 		}
 		fmt.Fprintf(w, "OK %d\n", len(pairs))
 	case "DEL":
 		if len(args) != 1 {
-			fmt.Fprintln(w, "ERR usage: DEL <key>")
+			fmt.Fprintf(w, "ERR %s DEL <key>\n", errUsage)
 			return
 		}
-		k, err := strconv.ParseUint(args[0], 10, 64)
-		if err != nil {
-			fmt.Fprintln(w, "ERR keys are uint64")
+		k, ok := parseU64(w, args[0])
+		if !ok {
 			return
 		}
 		if s.idx.Remove(k) {
@@ -167,13 +393,16 @@ func (s *Server) dispatch(w *bufio.Writer, line string) {
 		}
 	case "SCAN":
 		if len(args) != 2 {
-			fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
+			fmt.Fprintf(w, "ERR %s SCAN <start> <n>\n", errUsage)
 			return
 		}
-		start, err1 := strconv.ParseUint(args[0], 10, 64)
-		n, err2 := strconv.Atoi(args[1])
-		if err1 != nil || err2 != nil || n < 0 {
-			fmt.Fprintln(w, "ERR bad arguments")
+		start, ok := parseU64(w, args[0])
+		if !ok {
+			return
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 0 {
+			fmt.Fprintf(w, "ERR %s %q is not a row count\n", errBadInt, args[1])
 			return
 		}
 		if n > 10000 {
@@ -198,6 +427,17 @@ func (s *Server) dispatch(w *bufio.Writer, line string) {
 		}
 		fmt.Fprintln(w, "END")
 	default:
-		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+		fmt.Fprintf(w, "ERR %s command %q\n", errUnknown, cmd)
 	}
+}
+
+// parseU64 parses one key/value token, emitting a structured BADINT error
+// naming the offending token on failure.
+func parseU64(w *bufio.Writer, tok string) (uint64, bool) {
+	v, err := strconv.ParseUint(tok, 10, 64)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %s %q is not a uint64\n", errBadInt, tok)
+		return 0, false
+	}
+	return v, true
 }

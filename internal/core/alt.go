@@ -206,29 +206,88 @@ func (t *ALT) fpNode(m *model) *art.Node {
 	return t.fp.node(m.fastIdx.Load())
 }
 
-// backoff spins briefly, then yields; used when a slot writer (or a
-// retraining freeze) is in flight.
+// backoff is the per-operation contention policy, used when a slot writer
+// (or a retraining freeze) is in flight. Each retry loop keeps one on its
+// stack and calls wait() per failed attempt.
 //
 // Contention contract: attempts 0..16 stay on-CPU with an exponentially
 // growing bounded pause — slot writer critical sections are a handful of
 // stores, so the slot is expected to free within tens of nanoseconds and
 // yielding immediately would trade that for a scheduler round trip. Past
 // 16 attempts the writer is presumed descheduled (or the model frozen for
-// retraining) and the goroutine yields. Callers reload the model table
-// each attempt so a frozen model is escaped as soon as the new table lands.
-//
-// The pause loop feeds runtime.KeepAlive so the compiler cannot prove the
-// body dead and delete it (a `_ = attempt` body is eliminated entirely,
-// which silently turns the pre-Gosched phase into a hot no-op loop of zero
-// iterations' worth of delay).
-func backoff(attempt int) {
-	if attempt > 16 {
-		runtime.Gosched()
+// retraining) and the goroutine yields — followed by a decorrelated-jitter
+// spin pause, so a herd of writers parked on the same frozen model does
+// not convoy back on the same Gosched cadence and collide again in
+// lockstep: each goroutine's pause is drawn uniformly from
+// [base, 3×previous], capped at backoffMaxPause, per the decorrelated
+// jitter scheme. Callers reload the model table each attempt so a frozen
+// model is escaped as soon as the new table lands.
+type backoff struct {
+	attempt int
+	pause   uint32 // previous jitter draw (spin iterations); 0 = unseeded
+	rng     uint64 // splitmix64 state, seeded on first post-spin attempt
+}
+
+const (
+	// backoffSpinAttempts is the on-CPU phase length (the pre-existing
+	// spin contract, unchanged).
+	backoffSpinAttempts = 16
+	// backoffBasePause is the minimum post-yield jitter pause, in spin
+	// iterations (~a few ns each).
+	backoffBasePause = 64
+	// backoffMaxPause caps decorrelated growth so a long freeze never
+	// pushes pauses past ~tens of microseconds of spinning.
+	backoffMaxPause = 16384
+)
+
+// backoffSeed decorrelates the jitter streams of concurrent operations;
+// each backoff draws a distinct seed on its first post-spin attempt.
+var backoffSeed atomic.Uint64
+
+// wait performs one backoff step and advances the state.
+func (bo *backoff) wait() {
+	a := bo.attempt
+	bo.attempt++
+	if a <= backoffSpinAttempts {
+		spin(2 << uint(a&7))
 		return
 	}
+	runtime.Gosched()
+	spin(bo.nextPause())
+}
+
+// nextPause draws the decorrelated-jitter pause: uniform in
+// [backoffBasePause, 3×previous], capped at backoffMaxPause. Growth is
+// therefore bounded (at most 3× per step, never above the cap) but
+// randomized, which is what spreads a convoy apart.
+func (bo *backoff) nextPause() uint32 {
+	if bo.pause == 0 {
+		bo.pause = backoffBasePause
+		bo.rng = backoffSeed.Add(0x9e3779b97f4a7c15)
+	}
+	hi := 3 * bo.pause
+	if hi > backoffMaxPause {
+		hi = backoffMaxPause
+	}
+	// splitmix64 step (inlined; see internal/xrand).
+	bo.rng += 0x9e3779b97f4a7c15
+	z := bo.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	p := backoffBasePause + uint32(z%uint64(hi-backoffBasePause+1))
+	bo.pause = p
+	return p
+}
+
+// spin burns roughly iters loop iterations on-CPU. The loop feeds
+// runtime.KeepAlive so the compiler cannot prove the body dead and delete
+// it (a `_ = i` body is eliminated entirely, which silently turns the
+// pause into a hot no-op loop of zero iterations' worth of delay).
+func spin(iters uint32) {
 	n := uint32(0)
-	for i := 0; i < 2<<uint(attempt&7); i++ {
-		n += uint32(i) | 1
+	for i := uint32(0); i < iters; i++ {
+		n += i | 1
 	}
 	runtime.KeepAlive(n)
 }
@@ -241,7 +300,8 @@ func backoff(attempt int) {
 // write-back or tombstone reclaim) may have moved the key between the two
 // probes, so the lookup retries.
 func (t *ALT) Get(key uint64) (uint64, bool) {
-	for attempt := 0; ; attempt++ {
+	var bo backoff
+	for {
 		tab := t.tab.Load()
 		if len(tab.models) == 0 {
 			return t.tree.Get(key)
@@ -250,7 +310,7 @@ func (t *ALT) Get(key uint64) (uint64, bool) {
 		s := m.slotOf(key)
 		k, v, meta, ok := m.read(s)
 		if !ok {
-			backoff(attempt)
+			bo.wait()
 			continue
 		}
 		switch st := stateOf(meta); {
@@ -267,7 +327,7 @@ func (t *ALT) Get(key uint64) (uint64, bool) {
 				return val, true
 			}
 			if m.meta[s].Load() != meta {
-				backoff(attempt)
+				bo.wait()
 				continue // concurrent migration; retry
 			}
 			return 0, false
@@ -280,7 +340,7 @@ func (t *ALT) Get(key uint64) (uint64, bool) {
 				return val, true
 			}
 			if m.meta[s].Load() != meta {
-				backoff(attempt)
+				bo.wait()
 				continue
 			}
 			return 0, false
@@ -299,6 +359,7 @@ func (t *ALT) writeBack(m *model, s int, key, val uint64) {
 	if !m.acquire(s, meta) {
 		return
 	}
+	fpWriteBack.Inject()
 	if t.tree.Remove(key) {
 		m.keys[s].Store(key)
 		m.vals[s].Store(val)
@@ -312,7 +373,8 @@ func (t *ALT) writeBack(m *model, s int, key, val uint64) {
 // Insert stores key/value (upsert): in place when the predicted slot is
 // free, otherwise into the ART-OPT layer (Algorithm 2, Insert).
 func (t *ALT) Insert(key, value uint64) error {
-	for attempt := 0; ; attempt++ {
+	var bo backoff
+	for {
 		tab := t.tab.Load()
 		if len(tab.models) == 0 {
 			t.preMu.RLock()
@@ -331,7 +393,7 @@ func (t *ALT) Insert(key, value uint64) error {
 		if t.insertAt(tab, m, pos, key, value) {
 			return nil
 		}
-		backoff(attempt)
+		bo.wait()
 	}
 }
 
@@ -357,6 +419,7 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 			if !m.acquire(s, meta) {
 				return false
 			}
+			fpInsertLocked.Inject()
 			m.vals[s].Store(value)
 			m.release(s, meta, slotOccupied)
 			return true
@@ -370,6 +433,7 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 		if !m.acquire(s, meta) {
 			return false
 		}
+		fpInsertLocked.Inject()
 		added := t.tree.PutFrom(t.fpNode(m), key, value)
 		m.release(s, meta, slotOccupied)
 		if added {
@@ -388,6 +452,7 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 		if !m.acquire(s, meta) {
 			return false
 		}
+		fpInsertLocked.Inject()
 		m.keys[s].Store(key)
 		m.vals[s].Store(value)
 		m.release(s, meta, slotOccupied)
@@ -398,6 +463,7 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 		if !m.acquire(s, meta) {
 			return false
 		}
+		fpInsertLocked.Inject()
 		// The ART removal runs under the slot lock so the key never
 		// exists in both layers and the size stays exact.
 		shadowed := t.tree.Remove(key)
@@ -414,7 +480,8 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 
 // Update overwrites an existing key's value.
 func (t *ALT) Update(key, value uint64) bool {
-	for attempt := 0; ; attempt++ {
+	var bo backoff
+	for {
 		tab := t.tab.Load()
 		if len(tab.models) == 0 {
 			t.preMu.RLock()
@@ -430,7 +497,7 @@ func (t *ALT) Update(key, value uint64) bool {
 		s := m.slotOf(key)
 		meta := m.meta[s].Load()
 		if meta&slotLockBit != 0 {
-			backoff(attempt)
+			bo.wait()
 			continue
 		}
 		st := meta & (slotOccupied | slotTomb)
@@ -440,12 +507,12 @@ func (t *ALT) Update(key, value uint64) bool {
 		case st&slotOccupied != 0:
 			k := m.keys[s].Load()
 			if m.meta[s].Load() != meta {
-				backoff(attempt)
+				bo.wait()
 				continue
 			}
 			if k == key {
 				if !m.acquire(s, meta) {
-					backoff(attempt)
+					bo.wait()
 					continue
 				}
 				m.vals[s].Store(value)
@@ -455,7 +522,7 @@ func (t *ALT) Update(key, value uint64) bool {
 			// ART-resident target: run the tree update under the slot
 			// lock so it cannot interleave with a retraining migration.
 			if !m.acquire(s, meta) {
-				backoff(attempt)
+				bo.wait()
 				continue
 			}
 			found := t.tree.Update(key, value)
@@ -463,7 +530,7 @@ func (t *ALT) Update(key, value uint64) bool {
 			return found
 		default:
 			if !m.acquire(s, meta) {
-				backoff(attempt)
+				bo.wait()
 				continue
 			}
 			found := t.tree.Update(key, value)
@@ -477,7 +544,8 @@ func (t *ALT) Update(key, value uint64) bool {
 // conflict keys predicted to the same slot still route to ART
 // (invariant 2); ART-resident keys are removed from the tree.
 func (t *ALT) Remove(key uint64) bool {
-	for attempt := 0; ; attempt++ {
+	var bo backoff
+	for {
 		tab := t.tab.Load()
 		if len(tab.models) == 0 {
 			t.preMu.RLock()
@@ -497,7 +565,7 @@ func (t *ALT) Remove(key uint64) bool {
 		s := m.slotOf(key)
 		meta := m.meta[s].Load()
 		if meta&slotLockBit != 0 {
-			backoff(attempt)
+			bo.wait()
 			continue
 		}
 		st := meta & (slotOccupied | slotTomb)
@@ -507,12 +575,12 @@ func (t *ALT) Remove(key uint64) bool {
 		case st&slotOccupied != 0:
 			k := m.keys[s].Load()
 			if m.meta[s].Load() != meta {
-				backoff(attempt)
+				bo.wait()
 				continue
 			}
 			if k == key {
 				if !m.acquire(s, meta) {
-					backoff(attempt)
+					bo.wait()
 					continue
 				}
 				m.release(s, meta, slotTomb)
@@ -522,7 +590,7 @@ func (t *ALT) Remove(key uint64) bool {
 			// ART-resident target: remove under the slot lock so the
 			// removal cannot interleave with a retraining migration.
 			if !m.acquire(s, meta) {
-				backoff(attempt)
+				bo.wait()
 				continue
 			}
 			removed := t.tree.Remove(key)
@@ -533,7 +601,7 @@ func (t *ALT) Remove(key uint64) bool {
 			return removed
 		default:
 			if !m.acquire(s, meta) {
-				backoff(attempt)
+				bo.wait()
 				continue
 			}
 			removed := t.tree.Remove(key)

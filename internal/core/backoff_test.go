@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestBackoffPauseBounds checks the decorrelated-jitter contract: every
+// post-spin pause is drawn from [backoffBasePause, min(3×previous,
+// backoffMaxPause)], so pauses are bounded and per-step growth never
+// exceeds 3×.
+func TestBackoffPauseBounds(t *testing.T) {
+	var bo backoff
+	prev := uint32(0)
+	for i := 0; i < 10000; i++ {
+		p := bo.nextPause()
+		if p < backoffBasePause || p > backoffMaxPause {
+			t.Fatalf("draw %d: pause %d outside [%d, %d]", i, p, backoffBasePause, backoffMaxPause)
+		}
+		if prev != 0 {
+			hi := 3 * prev
+			if hi > backoffMaxPause {
+				hi = backoffMaxPause
+			}
+			if p > hi {
+				t.Fatalf("draw %d: pause %d exceeds 3×previous bound %d (prev %d)", i, p, hi, prev)
+			}
+		}
+		prev = p
+	}
+}
+
+// TestBackoffJitterDecorrelates checks that independent backoff sequences
+// diverge: two goroutines entering the yield phase together must not draw
+// identical pause schedules, or they would reconvoy in lockstep.
+func TestBackoffJitterDecorrelates(t *testing.T) {
+	var a, b backoff
+	same := 0
+	const draws = 256
+	for i := 0; i < draws; i++ {
+		if a.nextPause() == b.nextPause() {
+			same++
+		}
+	}
+	if same > draws/4 {
+		t.Fatalf("sequences collide on %d/%d draws; jitter is not decorrelated", same, draws)
+	}
+}
+
+// TestBackoffWaitProgresses checks wait() never blocks and transitions
+// from the spin phase to the jitter phase at backoffSpinAttempts.
+func TestBackoffWaitProgresses(t *testing.T) {
+	var bo backoff
+	for i := 0; i < backoffSpinAttempts+32; i++ {
+		bo.wait()
+	}
+	if bo.attempt != backoffSpinAttempts+32 {
+		t.Fatalf("attempt counter = %d, want %d", bo.attempt, backoffSpinAttempts+32)
+	}
+	if bo.pause == 0 {
+		t.Fatal("post-spin phase never seeded the jitter state")
+	}
+}

@@ -299,6 +299,7 @@ func (tb *table) keySpan() (base, span uint64) {
 // vals and found must be at least len(keys) long.
 func (t *ALT) GetBatch(keys []uint64, vals []uint64, found []bool) {
 	tab := t.tab.Load()
+	fpBatchReload.Inject()
 	if len(tab.models) == 0 {
 		for i, k := range keys {
 			vals[i], found[i] = t.tree.Get(k)
@@ -455,6 +456,7 @@ func (t *ALT) GetBatch(keys []uint64, vals []uint64, found []bool) {
 // order, as the index.Batcher contract permits.
 func (t *ALT) InsertBatch(pairs []index.KV) error {
 	tab := t.tab.Load()
+	fpBatchReload.Inject()
 	// Below insertBatchMin the permutation and grouping cannot pay for
 	// themselves (writes are dominated by slot CAS traffic and retrain
 	// amortization, so there is less routing to save than on reads);

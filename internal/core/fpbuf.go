@@ -50,6 +50,7 @@ func (b *fpBuffer) register(node *art.Node) int32 {
 	b.requested.Add(1)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	fpFPBufRegister.Inject()
 	if idx := node.FPIndex(); idx >= 0 && int(idx) < len(b.entries) &&
 		b.entries[idx].node.Load() == node {
 		return idx // merge scheme: duplicate target

@@ -58,6 +58,7 @@ func (t *ALT) rebuild(tb *table, m *model, pos int) {
 	}
 
 	m.freeze()
+	fpRetrainFreeze.Inject()
 	mk, mv := m.frozenEntries()
 
 	var ak, av []uint64
@@ -121,6 +122,7 @@ func (t *ALT) rebuild(tb *table, m *model, pos int) {
 		}
 	}
 
+	fpRetrainPublish.Inject()
 	t.tab.Store(newTab)
 	t.retrains.Add(1)
 }

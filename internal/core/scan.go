@@ -96,6 +96,7 @@ func (t *ALT) collectLearned(tb *table, start uint64, n int, out []index.KV) ([]
 			var k, v uint64
 			var st uint32
 			readOK := false
+			var bo backoff
 			for try := 0; try < 64; try++ {
 				var ok bool
 				k, v, st, ok = m.read(s)
@@ -103,7 +104,7 @@ func (t *ALT) collectLearned(tb *table, start uint64, n int, out []index.KV) ([]
 					readOK = true
 					break
 				}
-				backoff(try)
+				bo.wait()
 			}
 			if !readOK {
 				return out, false // frozen slot: table about to change

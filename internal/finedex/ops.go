@@ -135,7 +135,7 @@ func (ix *Index) Update(key, value uint64) bool {
 		m.vals[i].Store(value)
 		return true
 	} else if b := m.binAt(i); b != nil {
-		return b.mutate(key, func(bi int) { b.vals[bi].Store(value) })
+		return b.mutate(m, i, key, func(b *bin, bi int) { b.vals[bi].Store(value) })
 	}
 	return false
 }
@@ -156,7 +156,7 @@ func (ix *Index) Remove(key uint64) bool {
 		ix.size.Add(-1)
 		return true
 	} else if b := m.binAt(i); b != nil {
-		if b.mutate(key, func(bi int) { b.deleted[bi].Store(1) }) {
+		if b.mutate(m, i, key, func(b *bin, bi int) { b.deleted[bi].Store(1) }) {
 			ix.size.Add(-1)
 			return true
 		}
@@ -164,23 +164,35 @@ func (ix *Index) Remove(key uint64) bool {
 	return false
 }
 
-// mutate applies fn to the live entry holding key under the bin lock.
-func (b *bin) mutate(key uint64, fn func(i int)) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	n := int(b.n.Load())
-	for i := 0; i < n; i++ {
-		if b.keys[i].Load() == key {
-			if b.deleted[i].Load() != 0 {
-				return false
-			}
-			b.ver.Add(1)
-			fn(i)
-			b.ver.Add(1)
-			return true
+// mutate applies fn to the live entry holding key under the bin lock. Like
+// put, it must re-check the model's bin pointer after locking: a concurrent
+// put may have grown the bin and published a copy, and a mutation applied
+// to the superseded bin would be silently lost in the live one.
+func (b *bin) mutate(m *fmodel, slot int, key uint64, fn func(b *bin, i int)) bool {
+	for {
+		b.mu.Lock()
+		if cur := m.bins[clampBin(slot, len(m.bins))].Load(); cur != b {
+			b.mu.Unlock()
+			b = cur
+			continue
 		}
+		n := int(b.n.Load())
+		for i := 0; i < n; i++ {
+			if b.keys[i].Load() == key {
+				if b.deleted[i].Load() != 0 {
+					b.mu.Unlock()
+					return false
+				}
+				b.ver.Add(1)
+				fn(b, i)
+				b.ver.Add(1)
+				b.mu.Unlock()
+				return true
+			}
+		}
+		b.mu.Unlock()
+		return false
 	}
-	return false
 }
 
 // Scan visits up to max pairs with keys >= start in ascending order,

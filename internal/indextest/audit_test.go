@@ -1,0 +1,72 @@
+package indextest
+
+import (
+	"strings"
+	"testing"
+
+	"altindex/internal/art"
+	"altindex/internal/index"
+)
+
+// TestAuditSelfTest proves the audit can actually fail: each class of
+// tampered expectation must be reported. An audit that passes everything
+// would make the churn and chaos suites vacuous.
+func TestAuditSelfTest(t *testing.T) {
+	build := func() (index.Concurrent, map[uint64]uint64) {
+		ix := art.New(nil)
+		want := make(map[uint64]uint64)
+		for k := uint64(10); k <= 100; k += 10 {
+			if err := ix.Insert(k, k*3); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = k * 3
+		}
+		return ix, want
+	}
+
+	if ix, want := build(); len(Audit(ix, want)) != 0 {
+		t.Fatalf("clean index reported violations: %v", Audit(ix, want))
+	}
+
+	for _, tc := range []struct {
+		name    string
+		tamper  func(ix index.Concurrent, want map[uint64]uint64)
+		needles []string
+	}{
+		{
+			name:    "lost write",
+			tamper:  func(ix index.Concurrent, want map[uint64]uint64) { want[999] = 1 },
+			needles: []string{"lost acked write"},
+		},
+		{
+			name:    "stale value",
+			tamper:  func(ix index.Concurrent, want map[uint64]uint64) { want[50] = 7 },
+			needles: []string{"stale value"},
+		},
+		{
+			name:    "ghost key",
+			tamper:  func(ix index.Concurrent, want map[uint64]uint64) { delete(want, 50) },
+			needles: []string{"ghost key"},
+		},
+	} {
+		ix, want := build()
+		tc.tamper(ix, want)
+		bad := Audit(ix, want)
+		if len(bad) == 0 {
+			t.Errorf("%s: tampered expectation not detected", tc.name)
+			continue
+		}
+		for _, needle := range tc.needles {
+			hit := false
+			for _, v := range bad {
+				if strings.Contains(v, needle) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Errorf("%s: no violation mentions %q: %v", tc.name, needle, bad)
+			}
+		}
+	}
+}

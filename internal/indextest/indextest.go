@@ -40,6 +40,7 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("BatchMatchesPerKey", func(t *testing.T) { testBatchMatchesPerKey(t, factory) })
 	t.Run("BatchInsert", func(t *testing.T) { testBatchInsert(t, factory) })
 	t.Run("BatchConcurrent", func(t *testing.T) { testBatchConcurrent(t, factory) })
+	t.Run("ChurnInvariants", func(t *testing.T) { testChurnInvariants(t, factory) })
 }
 
 // batchers returns the batched views of ix under test: the preferred one

@@ -1,14 +1,15 @@
 package memdb
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"os"
 
+	"altindex/internal/failpoint"
 	"altindex/internal/index"
+	"altindex/internal/snapio"
 )
 
 // Snapshot format: a little-endian binary checkpoint of every table —
@@ -23,6 +24,12 @@ import (
 //	  per index: u32 nameLen, name, u32 column, u32 colBits
 //	  per row (ascending pk): u64 pk, columns × u64
 //
+// The payload is framed by snapio's CRC32 footer and written through its
+// temp-file + fsync + atomic-rename sequence, so a crash at any point (the
+// chaos suite injects one at every edge) leaves either the previous
+// complete checkpoint or a file Load rejects with ErrBadSnapshot — never a
+// torn or silently-stale snapshot.
+//
 // Save requires the database to be quiescent; it is a checkpoint
 // operation, not a hot-path one.
 
@@ -31,22 +38,16 @@ var snapshotMagic = [8]byte{'A', 'L', 'T', 'D', 'B', '0', '0', '1'}
 // ErrBadSnapshot reports a corrupt or incompatible snapshot file.
 var ErrBadSnapshot = errors.New("memdb: bad snapshot")
 
-// Save writes a checkpoint of the whole database to path.
+// fpSaveRows fires once per row batch while serializing a table; armed
+// with delay it stretches the checkpoint window (stressing the
+// "changed during save" detection), armed with error it simulates a crash
+// mid-payload.
+var fpSaveRows = failpoint.New("memdb/save/rows")
+
+// Save writes a checkpoint of the whole database to path, atomically: the
+// previous snapshot at path survives any failure or crash mid-save.
 func (db *DB) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriter(f)
-	if err := db.writeSnapshot(w); err != nil {
-		f.Close()
-		return err
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return snapio.WriteFile(path, db.writeSnapshot)
 }
 
 func (db *DB) writeSnapshot(w io.Writer) error {
@@ -101,6 +102,9 @@ func (db *DB) writeSnapshot(w io.Writer) error {
 		start := uint64(0)
 		for {
 			const batch = 1024
+			if werr = fpSaveRows.InjectErr(); werr != nil {
+				return werr
+			}
 			var last uint64
 			n := 0
 			t.primary.Scan(start, batch, func(pk, h uint64) bool {
@@ -132,17 +136,31 @@ func (db *DB) writeSnapshot(w io.Writer) error {
 	return nil
 }
 
-// Load reads a checkpoint written by Save into a fresh database.
+// Load reads a checkpoint written by Save into a fresh database. A
+// truncated, torn or corrupt file — including one left by a crash that
+// beat the atomic rename — returns an error wrapping ErrBadSnapshot
+// rather than a partially-loaded database.
 func Load(path string) (*DB, error) {
-	f, err := os.Open(path)
+	payload, err := snapio.ReadFile(path)
 	if err != nil {
+		if errors.Is(err, snapio.ErrCorrupt) {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
 		return nil, err
 	}
-	defer f.Close()
-	return readSnapshot(bufio.NewReader(f))
+	db, err := readSnapshot(bytes.NewReader(payload))
+	if err != nil {
+		// The payload passed its checksum, so a parse failure means a
+		// structurally-incompatible file, not bit rot — still bad.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: payload shorter than its structure", ErrBadSnapshot)
+		}
+		return nil, err
+	}
+	return db, nil
 }
 
-func readSnapshot(r io.Reader) (*DB, error) {
+func readSnapshot(r *bytes.Reader) (*DB, error) {
 	get32 := func() (uint32, error) {
 		var v uint32
 		err := binary.Read(r, binary.LittleEndian, &v)
@@ -189,6 +207,9 @@ func readSnapshot(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		if columns == 0 || columns > 1<<16 {
+			return nil, fmt.Errorf("%w: table %q declares %d columns", ErrBadSnapshot, name, columns)
+		}
 		idxCount, err := get32()
 		if err != nil {
 			return nil, err
@@ -196,6 +217,12 @@ func readSnapshot(r io.Reader) (*DB, error) {
 		rowCount, err := get64()
 		if err != nil {
 			return nil, err
+		}
+		// A row is (1+columns) u64s; a declared count the remaining payload
+		// cannot hold is structural corruption, caught here rather than as
+		// an allocation bomb below.
+		if rowCount > uint64(r.Len())/(8*(uint64(columns)+1)) {
+			return nil, fmt.Errorf("%w: table %q declares %d rows, payload holds fewer", ErrBadSnapshot, name, rowCount)
 		}
 		type idxDef struct {
 			name    string

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"altindex/internal/failpoint"
 )
 
 func buildSampleDB(t *testing.T) *DB {
@@ -103,6 +105,127 @@ func TestSnapshotBadInput(t *testing.T) {
 	}
 	if _, err := Load(path); err == nil {
 		t.Fatal("truncated snapshot loaded")
+	}
+}
+
+// saveCrashSites are every edge at which a kill -9 can interrupt Save:
+// mid-payload (row serialization) and each snapio write-sequence edge.
+var saveCrashSites = []string{
+	"memdb/save/rows", "snapio/flush", "snapio/sync", "snapio/rename",
+}
+
+// TestSaveCrashSafety is the kill -9 acceptance check: a crash injected at
+// every stage of Save must leave Load returning the previous complete
+// checkpoint — never a torn, partial or silently-stale database — and a
+// clean retry must fully recover.
+func TestSaveCrashSafety(t *testing.T) {
+	for _, site := range saveCrashSites {
+		t.Run(filepath.Base(filepath.Dir(site))+"-"+filepath.Base(site), func(t *testing.T) {
+			defer failpoint.DisableAll()
+			dir := t.TempDir()
+			path := filepath.Join(dir, "db.snap")
+
+			db := buildSampleDB(t)
+			if err := db.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			// Mutate past the checkpoint, then crash the next Save.
+			orders, _ := db.Table("orders")
+			if err := orders.Insert(77777, []uint64{1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+			if err := failpoint.Enable(site, "error(kill -9)"); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Save(path); !errors.Is(err, failpoint.ErrInjected) {
+				t.Fatalf("injected crash not surfaced: %v", err)
+			}
+			// The destination must still be the v1 checkpoint, exactly.
+			prev, err := Load(path)
+			if err != nil {
+				t.Fatalf("previous checkpoint unloadable after crash: %v", err)
+			}
+			po, err := prev.Table("orders")
+			if err != nil || po.Len() != 500 {
+				t.Fatalf("previous checkpoint wrong: %v len=%d", err, po.Len())
+			}
+			if _, err := po.Get(77777); err == nil {
+				t.Fatal("crashed save leaked post-checkpoint data (stale-read hazard)")
+			}
+			// Clean retry recovers everything, including the new row.
+			failpoint.Disable(site)
+			if err := db.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			cur, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			co, _ := cur.Table("orders")
+			if co.Len() != 501 {
+				t.Fatalf("retry checkpoint len = %d, want 501", co.Len())
+			}
+			if row, err := co.Get(77777); err != nil || row[2] != 3 {
+				t.Fatalf("retry checkpoint missing new row: %v %v", row, err)
+			}
+		})
+	}
+}
+
+// TestCrashMidFirstSave: with no previous checkpoint, a crashed first Save
+// must leave Load failing cleanly (file absent or ErrBadSnapshot), never a
+// partial database.
+func TestCrashMidFirstSave(t *testing.T) {
+	for _, site := range saveCrashSites {
+		defer failpoint.DisableAll()
+		path := filepath.Join(t.TempDir(), "db.snap")
+		db := buildSampleDB(t)
+		if err := failpoint.Enable(site, "error(kill -9)"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Save(path); !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("%s: injected crash not surfaced: %v", site, err)
+		}
+		failpoint.Disable(site)
+		if _, err := Load(path); err == nil {
+			t.Fatalf("%s: partial first save loaded", site)
+		} else if !errors.Is(err, os.ErrNotExist) && !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("%s: want clean absent/ErrBadSnapshot, got %v", site, err)
+		}
+	}
+}
+
+// TestSnapshotCorruptionRejected flips and truncates bytes of a valid
+// snapshot; every mutation must surface as ErrBadSnapshot, not garbage.
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+	if err := buildSampleDB(t).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"flip-row-byte", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }},
+		{"flip-header-byte", func(b []byte) []byte { b[12] ^= 0x01; return b }},
+		{"truncate-half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncate-footer", func(b []byte) []byte { return b[:len(b)-4] }},
+		{"extend", func(b []byte) []byte { return append(b, 0, 0, 0, 0) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, tc.name)
+			if err := os.WriteFile(p, tc.mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(p); !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("corrupt snapshot: err = %v, want ErrBadSnapshot", err)
+			}
+		})
 	}
 }
 

@@ -1,5 +1,11 @@
 package memdb
 
+import "altindex/internal/failpoint"
+
+// fpVacuumBatch fires once per copy batch; armed with delay/yield it
+// stretches the arena rebuild window.
+var fpVacuumBatch = failpoint.New("memdb/vacuum/batch")
+
 // Vacuum reclaims row versions orphaned by updates and deletes by
 // rebuilding the row arena from the live rows. The table must be quiescent
 // (no concurrent operations) for the duration — it is a maintenance
@@ -17,6 +23,7 @@ func (t *Table) Vacuum() int {
 	start := uint64(0)
 	for {
 		const batch = 1024
+		fpVacuumBatch.Inject()
 		type repoint struct {
 			pk uint64
 			h  uint64

@@ -1,0 +1,125 @@
+package altindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"altindex/internal/index"
+	"altindex/internal/snapio"
+)
+
+// Index snapshot format, little-endian, framed by snapio's CRC32 footer
+// and written via its temp-file + fsync + atomic-rename sequence:
+//
+//	magic "ALTIX001"
+//	u64 pairCount
+//	pairCount × (u64 key, u64 value), ascending by key
+//
+// Save requires the index to be quiescent for an exact snapshot (it is a
+// checkpoint operation); Load bulkloads a fresh index from the file.
+
+var indexSnapMagic = [8]byte{'A', 'L', 'T', 'I', 'X', '0', '0', '1'}
+
+// ErrBadSnapshot reports a corrupt, truncated or incompatible index
+// snapshot file. Save's atomic write sequence guarantees a crash mid-save
+// leaves either the previous complete snapshot or a file Load rejects with
+// this error — never a torn or silently-stale one.
+var ErrBadSnapshot = errors.New("altindex: bad snapshot")
+
+// Save writes a point-in-time snapshot of idx to path, atomically: the
+// previous snapshot at path survives any failure or crash mid-save.
+func Save(idx *Index, path string) error {
+	return snapio.WriteFile(path, func(w io.Writer) error {
+		count := uint64(idx.Len())
+		if err := writeIndexHeader(w, count); err != nil {
+			return err
+		}
+		var werr error
+		written := uint64(0)
+		start := uint64(0)
+		for {
+			const batch = 4096
+			var last uint64
+			n := 0
+			idx.Scan(start, batch, func(k, v uint64) bool {
+				last = k
+				n++
+				var kv [16]byte
+				binary.LittleEndian.PutUint64(kv[0:], k)
+				binary.LittleEndian.PutUint64(kv[8:], v)
+				_, werr = w.Write(kv[:])
+				written++
+				return werr == nil
+			})
+			if werr != nil {
+				return werr
+			}
+			if n < batch || last == ^uint64(0) {
+				break
+			}
+			start = last + 1
+		}
+		if written != count {
+			return fmt.Errorf("%w: index changed during save (%d pairs walked, Len %d)",
+				ErrBadSnapshot, written, count)
+		}
+		return nil
+	})
+}
+
+func writeIndexHeader(w io.Writer, count uint64) error {
+	if _, err := w.Write(indexSnapMagic[:]); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, count)
+}
+
+// Load reads a snapshot written by Save into a fresh index built with
+// opts. Corrupt or truncated files return an error wrapping ErrBadSnapshot.
+func Load(path string, opts Options) (*Index, error) {
+	payload, err := snapio.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, snapio.ErrCorrupt) {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		return nil, err
+	}
+	r := bytes.NewReader(payload)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header", ErrBadSnapshot)
+	}
+	if magic != indexSnapMagic {
+		return nil, fmt.Errorf("%w: magic mismatch", ErrBadSnapshot)
+	}
+	var count uint64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: missing pair count", ErrBadSnapshot)
+	}
+	if count != uint64(r.Len())/16 || uint64(r.Len())%16 != 0 {
+		return nil, fmt.Errorf("%w: %d pairs declared, payload holds %d bytes",
+			ErrBadSnapshot, count, r.Len())
+	}
+	pairs := make([]index.KV, count)
+	var prev uint64
+	for i := range pairs {
+		var kv [16]byte
+		if _, err := io.ReadFull(r, kv[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated pair %d", ErrBadSnapshot, i)
+		}
+		k := binary.LittleEndian.Uint64(kv[0:])
+		if i > 0 && k <= prev {
+			return nil, fmt.Errorf("%w: pairs out of order", ErrBadSnapshot)
+		}
+		prev = k
+		pairs[i] = index.KV{Key: k, Value: binary.LittleEndian.Uint64(kv[8:])}
+	}
+	idx := New(opts)
+	if err := idx.Bulkload(pairs); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}

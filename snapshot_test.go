@@ -1,0 +1,121 @@
+package altindex
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"altindex/internal/failpoint"
+)
+
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	idx := NewDefault()
+	var pairs []KV
+	for k := uint64(1); k <= 20000; k++ {
+		pairs = append(pairs, KV{Key: k * 7, Value: k * 11})
+	}
+	if err := idx.Bulkload(pairs); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(30000); k < 30500; k++ {
+		if err := idx.Insert(k*9, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	if err := Save(idx, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != idx.Len() {
+		t.Fatalf("Len = %d, want %d", loaded.Len(), idx.Len())
+	}
+	for _, kv := range pairs {
+		if v, ok := loaded.Get(kv.Key); !ok || v != kv.Value {
+			t.Fatalf("Get(%d) = (%d,%v)", kv.Key, v, ok)
+		}
+	}
+	for k := uint64(30000); k < 30500; k++ {
+		if v, ok := loaded.Get(k * 9); !ok || v != k {
+			t.Fatalf("inserted key %d = (%d,%v)", k*9, v, ok)
+		}
+	}
+}
+
+func TestIndexSnapshotEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.snap")
+	if err := Save(NewDefault(), path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, Options{})
+	if err != nil || loaded.Len() != 0 {
+		t.Fatalf("empty load: %v, len %d", err, loaded.Len())
+	}
+}
+
+func TestIndexSnapshotCrashSafety(t *testing.T) {
+	for _, site := range []string{"snapio/flush", "snapio/sync", "snapio/rename"} {
+		defer failpoint.DisableAll()
+		path := filepath.Join(t.TempDir(), "idx.snap")
+		idx := NewDefault()
+		for k := uint64(1); k <= 5000; k++ {
+			if err := idx.Insert(k, k*2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := Save(idx, path); err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Insert(999999, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := failpoint.Enable(site, "error(kill -9)"); err != nil {
+			t.Fatal(err)
+		}
+		if err := Save(idx, path); !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("%s: injected crash not surfaced: %v", site, err)
+		}
+		failpoint.Disable(site)
+		prev, err := Load(path, Options{})
+		if err != nil {
+			t.Fatalf("%s: previous checkpoint unloadable: %v", site, err)
+		}
+		if prev.Len() != 5000 {
+			t.Fatalf("%s: previous checkpoint len %d", site, prev.Len())
+		}
+		if _, ok := prev.Get(999999); ok {
+			t.Fatalf("%s: crashed save leaked post-checkpoint data", site)
+		}
+	}
+}
+
+func TestIndexSnapshotCorruptRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	idx := NewDefault()
+	for k := uint64(1); k <= 1000; k++ {
+		if err := idx.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Save(idx, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, Options{}); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("corrupt snapshot: %v, want ErrBadSnapshot", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing"), Options{}); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing snapshot: %v", err)
+	}
+}
