@@ -15,9 +15,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -33,6 +36,11 @@ func main() {
 		ops     = flag.Int("ops", 1_000_000, "operations per run")
 		seed    = flag.Uint64("seed", 1, "dataset/workload seed")
 		batch   = flag.String("batch", "", "comma-separated batch sizes for the 'batch' experiment (default 1,8,64,256)")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		jsonOut      = flag.String("json", "", "write every run's Result as JSON to this file (durations in ns)")
 	)
 	flag.Parse()
 
@@ -54,6 +62,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "altbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "altbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexprofile != "" {
+		// 1-in-5 sampling keeps the overhead away from the measured tails.
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mutexprofile)
+	}
+	if *memprofile != "" {
+		defer func() {
+			runtime.GC()
+			writeProfile("heap", *memprofile)
+		}()
+	}
+
 	p := bench.Params{Keys: *keys, Threads: *threads, Ops: *ops, Seed: *seed,
 		BatchSizes: batchSizes, Out: os.Stdout}
 	ids := expand(*exp)
@@ -61,13 +93,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "altbench: unknown experiment %q (try -list)\n", *exp)
 		os.Exit(2)
 	}
+
+	// Every runRow-backed result is recorded under its experiment id; -json
+	// dumps the lot machine-readably, with the scale parameters alongside.
+	type jsonRow struct {
+		Experiment string
+		bench.Result
+	}
+	var rows []jsonRow
+	curID := ""
+	if *jsonOut != "" {
+		p.Record = func(r bench.Result) {
+			rows = append(rows, jsonRow{Experiment: curID, Result: r})
+		}
+	}
+
 	for _, id := range ids {
 		e, ok := bench.ByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "altbench: unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
+		curID = id
 		e.Run(p)
+	}
+
+	if *jsonOut != "" {
+		doc := struct {
+			Keys, Threads, Ops int
+			Seed               uint64
+			Runs               []jsonRow
+		}{*keys, *threads, *ops, *seed, rows}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "altbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "altbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeProfile dumps a named runtime profile, warning instead of failing —
+// a missing profile must not discard an hour of benchmark output.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "altbench: profile %s: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "altbench: profile %s: %v\n", name, err)
 	}
 }
 

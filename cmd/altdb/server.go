@@ -192,6 +192,9 @@ func (s *Server) Shutdown() error {
 			len(s.snapshotConns()), s.cfg.DrainTimeout)
 	}
 	if s.cfg.SnapshotPath != "" {
+		// Writers are drained; settle any in-flight background retraining
+		// so the snapshot scan never has to wait out a freeze window.
+		s.idx.Quiesce()
 		if serr := altindex.Save(s.idx, s.cfg.SnapshotPath); serr != nil {
 			err = errors.Join(err, fmt.Errorf("altdb: shutdown snapshot: %w", serr))
 		}

@@ -146,6 +146,12 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	// Drain any asynchronous maintenance (background retraining) so the
+	// memory/stats snapshot below is settled. Deliberately outside the
+	// timed window: writers never wait for it, that is the design.
+	if q, ok := ix.(interface{ Quiesce() }); ok {
+		q.Quiesce()
+	}
 
 	res := Result{
 		Index:     ix.Name(),

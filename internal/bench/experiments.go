@@ -25,6 +25,15 @@ type Params struct {
 	// BatchSizes is the batch-size sweep of the batched-throughput
 	// experiment (default {1, 8, 64, 256}).
 	BatchSizes []int
+	// Record, when set, receives every per-run Result an experiment's
+	// table rows are printed from (cmd/altbench -json feeds on it).
+	Record func(Result)
+}
+
+func (p Params) record(r Result) {
+	if p.Record != nil {
+		p.Record(r)
+	}
 }
 
 func (p Params) withDefaults() Params {
@@ -81,6 +90,7 @@ func Experiments() []Experiment {
 		{"fig10c", "Fig 10(c): data split between layers", Fig10c},
 		{"fig10d", "Fig 10(d): bulkload time ALT vs ALEX+ vs LIPP+", Fig10d},
 		{"batch", "Batched throughput: model-grouped batch path vs per-key loop, all indexes", BatchSweep},
+		{"retrain-tail", "Retrain tail: hot-write writer latency, async vs inline retraining", RetrainTail},
 		{"ablation-retrain", "Ablation: ALT hot-write with retraining on/off", AblationRetrain},
 		{"ablation-gap", "Ablation: ALT gap factor sweep, balanced", AblationGap},
 		{"ablation-writeback", "Ablation: ALT write-back scheme on/off", AblationWriteback},
@@ -113,8 +123,10 @@ func header(p Params, title string) {
 		title, p.Keys, p.Threads, p.Ops, p.Seed)
 }
 
-func runRow(tw *tabwriter.Writer, f NamedFactory, cfg Config) Result {
+func runRow(p Params, tw *tabwriter.Writer, f NamedFactory, cfg Config) Result {
 	r := Run(f.New, cfg)
+	r.Index = f.Name // variant factories share an engine Name; keep the row label
+	p.record(r)
 	fmt.Fprintf(tw, "%s\t%s\t%.2f\t%s\t%s\t%s\n",
 		f.Name, cfg.Dataset, r.Mops, us(r.P50), us(r.P99), us(r.P999))
 	return r
@@ -131,7 +143,7 @@ func Table1(p Params) {
 	fmt.Fprintln(tw, "Index\tDataset\tMops\tP50us\tP99us\tP99.9us")
 	for _, f := range Competitors() {
 		for _, ds := range []dataset.Name{dataset.Libio, dataset.OSM} {
-			runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.Balanced,
+			runRow(p, tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.Balanced,
 				Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
 		}
 	}
@@ -279,7 +291,7 @@ func figMix(mix workload.Mix) func(Params) {
 		fmt.Fprintln(tw, "Index\tDataset\tMops\tP50us\tP99us\tP99.9us")
 		for _, f := range All() {
 			for _, ds := range dataset.Names() {
-				runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: mix,
+				runRow(p, tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: mix,
 					Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
 			}
 		}
@@ -316,7 +328,7 @@ func Fig8b(p Params) {
 	fmt.Fprintln(tw, "Index\tDataset\tMops\tP50us\tP99us\tP99.9us")
 	for _, f := range All() {
 		for _, ds := range dataset.Names() {
-			runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.WriteOnly,
+			runRow(p, tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.WriteOnly,
 				Hot: true, Threads: p.Threads, Ops: p.Keys / 10, Seed: p.Seed})
 		}
 	}
@@ -335,7 +347,7 @@ func Fig8c(p Params) {
 	}
 	for _, f := range All() {
 		for _, ds := range dataset.Names() {
-			runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.ScanOnly,
+			runRow(p, tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.ScanOnly,
 				Threads: p.Threads, Ops: scanOps, Seed: p.Seed})
 		}
 	}
@@ -562,6 +574,41 @@ func BatchSweep(p Params) {
 	}
 }
 
+// RetrainTail is the tail-latency proof for the asynchronous retraining
+// pipeline: the Fig 8(b) hot-write workload (a reserved consecutive range
+// inserted after init, repeatedly tripping §III-F) run against three ALT
+// variants — async (background worker pool, the default), sync (the
+// triggering writer rebuilds inline; RetrainWorkers < 0), and retraining
+// disabled (the no-rebuild lower bound). The P99/P99.9 columns are the
+// claim: moving the rebuild off the writer's critical path removes the
+// freeze-sized spike from the writer tail while keeping the same retrain
+// count. FreezeMax is the longest single freeze window; Spins counts
+// writer backoff iterations (writers parked on frozen slots).
+func RetrainTail(p Params) {
+	p = p.withDefaults()
+	header(p, "Retrain tail: hot-write writer latency, async vs inline retraining")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Variant\tDataset\tMops\tP50us\tP99us\tP99.9us\tRetrains\tDrops\tFreezeMax(us)\tSpins")
+	variants := []NamedFactory{
+		ALTWith("ALT-async", core.Options{}),
+		ALTWith("ALT-sync", core.Options{RetrainWorkers: -1}),
+		ALTWith("ALT-noretrain", core.Options{DisableRetraining: true}),
+	}
+	for _, f := range variants {
+		for _, ds := range []dataset.Name{dataset.Libio, dataset.OSM} {
+			r := Run(f.New, Config{Dataset: ds, Keys: p.Keys, Mix: workload.WriteOnly,
+				Hot: true, Threads: p.Threads, Ops: p.Keys / 10, Seed: p.Seed})
+			r.Index = f.Name
+			p.record(r)
+			fmt.Fprintf(tw, "%s\t%s\t%.2f\t%s\t%s\t%s\t%d\t%d\t%.1f\t%d\n",
+				f.Name, ds, r.Mops, us(r.P50), us(r.P99), us(r.P999),
+				r.Stats["retrains"], r.Stats["retrain_drops"],
+				float64(r.Stats["retrain_freeze_max_ns"])/1e3, r.Stats["writer_spins"])
+		}
+	}
+	tw.Flush()
+}
+
 // --- ablations ---------------------------------------------------------------
 
 // AblationRetrain contrasts ALT with retraining enabled vs disabled under
@@ -577,7 +624,7 @@ func AblationRetrain(p Params) {
 	}
 	for _, f := range variants {
 		for _, ds := range dataset.Names() {
-			runRow(tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.WriteOnly,
+			runRow(p, tw, f, Config{Dataset: ds, Keys: p.Keys, Mix: workload.WriteOnly,
 				Hot: true, Threads: p.Threads, Ops: p.Keys / 10, Seed: p.Seed})
 		}
 	}

@@ -47,6 +47,16 @@ type Options struct {
 	// once its runtime inserts exceed max(buildSize, RetrainMinInserts).
 	// Zero selects 1024, which stops rebuild thrash on small models.
 	RetrainMinInserts int
+	// RetrainWorkers sizes the background retraining worker pool (started
+	// lazily on the first trigger). Zero selects min(4, max(1,
+	// GOMAXPROCS/2)). Negative runs retraining synchronously on the
+	// triggering writer — the pre-async baseline, kept for tail-latency
+	// comparison.
+	RetrainWorkers int
+	// RetrainQueue bounds the trigger queue feeding the worker pool. Zero
+	// selects 256. On overflow the trigger is dropped and the model
+	// disarmed, so a later threshold-crossing insert re-triggers it.
+	RetrainQueue int
 	// DisableWriteBack turns off moving ART-resident keys back into
 	// freed GPL slots during lookups (Algorithm 2 lines 10-13).
 	DisableWriteBack bool
@@ -63,6 +73,9 @@ func (o Options) withDefaults() Options {
 	if o.RetrainMinInserts == 0 {
 		o.RetrainMinInserts = 1024
 	}
+	if o.RetrainQueue == 0 {
+		o.RetrainQueue = 256
+	}
 	return o
 }
 
@@ -76,12 +89,16 @@ type ALT struct {
 	tree *art.Tree
 	fp   *fpBuffer
 
-	retrainMu sync.Mutex
+	// ret is the asynchronous retraining pipeline (§III-F); see retrain.go.
+	ret retrainer
+	// bootMu serialises automatic initial training (one bootstrap only).
+	bootMu sync.Mutex
 	// preMu serialises pre-table tree mutations against the bootstrap
 	// table swap of automatic initial training.
-	preMu    sync.RWMutex
-	retrains atomic.Int64
-	size     atomic.Int64
+	preMu       sync.RWMutex
+	retrains    atomic.Int64
+	size        atomic.Int64
+	writerSpins atomic.Int64 // writer backoff waits (contention/freeze stalls)
 }
 
 var _ index.Concurrent = (*ALT)(nil)
@@ -94,7 +111,45 @@ func New(opts Options) *ALT {
 	t.fp = newFPBuffer(64)
 	t.tree = art.New(t.fp)
 	t.tab.Store(&table{})
+	t.ret.q = make(chan *model, t.opts.RetrainQueue)
+	t.ret.stop = make(chan struct{})
 	return t
+}
+
+// Close stops the background retraining workers and drains the trigger
+// queue. The index stays readable and writable afterwards — subsequent
+// triggers are simply dropped. Implements io.Closer so harnesses that
+// close their indexes reap the worker goroutines.
+func (t *ALT) Close() error {
+	r := &t.ret
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(r.stop)
+	r.wg.Wait()
+	for {
+		select {
+		case m := <-r.q:
+			m.retrainArmed.Store(false)
+			r.pending.Add(-1)
+		default:
+			return nil
+		}
+	}
+}
+
+// Quiesce blocks until no retraining trigger is queued or in flight. Call
+// it after writers stop — before invariant audits, snapshots or memory
+// measurements — so the observed state is not mid-rebuild. With writers
+// still running it only guarantees a momentary empty pipeline.
+func (t *ALT) Quiesce() {
+	r := &t.ret
+	for r.pending.Load() != 0 {
+		if r.closed.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
 }
 
 // Name implements index.Concurrent.
@@ -226,6 +281,16 @@ type backoff struct {
 	attempt int
 	pause   uint32 // previous jitter draw (spin iterations); 0 = unseeded
 	rng     uint64 // splitmix64 state, seeded on first post-spin attempt
+
+	// spins, when set, counts every wait() — writer paths point it at the
+	// index's writerSpins so StatsMap exposes how often writers stalled
+	// on contention or a retraining freeze.
+	spins *atomic.Int64
+}
+
+// writerBackoff returns a backoff wired to the writer-spin counter.
+func (t *ALT) writerBackoff() backoff {
+	return backoff{spins: &t.writerSpins}
 }
 
 const (
@@ -246,6 +311,9 @@ var backoffSeed atomic.Uint64
 
 // wait performs one backoff step and advances the state.
 func (bo *backoff) wait() {
+	if bo.spins != nil {
+		bo.spins.Add(1)
+	}
 	a := bo.attempt
 	bo.attempt++
 	if a <= backoffSpinAttempts {
@@ -373,7 +441,7 @@ func (t *ALT) writeBack(m *model, s int, key, val uint64) {
 // Insert stores key/value (upsert): in place when the predicted slot is
 // free, otherwise into the ART-OPT layer (Algorithm 2, Insert).
 func (t *ALT) Insert(key, value uint64) error {
-	var bo backoff
+	bo := t.writerBackoff()
 	for {
 		tab := t.tab.Load()
 		if len(tab.models) == 0 {
@@ -446,7 +514,7 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 			// link it lazily.
 			t.registerFP(tab, m, pos)
 		}
-		t.maybeRetrain(tab, m, pos)
+		t.maybeRetrain(m)
 		return true
 	case st == 0:
 		if !m.acquire(s, meta) {
@@ -480,7 +548,7 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 
 // Update overwrites an existing key's value.
 func (t *ALT) Update(key, value uint64) bool {
-	var bo backoff
+	bo := t.writerBackoff()
 	for {
 		tab := t.tab.Load()
 		if len(tab.models) == 0 {
@@ -544,7 +612,7 @@ func (t *ALT) Update(key, value uint64) bool {
 // conflict keys predicted to the same slot still route to ART
 // (invariant 2); ART-resident keys are removed from the tree.
 func (t *ALT) Remove(key uint64) bool {
-	var bo backoff
+	bo := t.writerBackoff()
 	for {
 		tab := t.tab.Load()
 		if len(tab.models) == 0 {
@@ -644,6 +712,16 @@ func (t *ALT) StatsMap() map[string]int64 {
 		"fp_entries":   int64(t.fp.len()),
 		"fp_requested": t.fp.requestedCount(),
 		"retrains":     t.retrains.Load(),
+
+		// Retraining pipeline observability (§III-F async):
+		"retrain_queue_depth":   int64(len(t.ret.q)),
+		"retrain_pending":       t.ret.pending.Load(),
+		"retrains_inflight":     t.ret.inflight.Load(),
+		"retrain_drops":         t.ret.drops.Load(),
+		"retrain_merges":        t.ret.merges.Load(),
+		"retrain_freeze_ns":     t.ret.freezeNsTotal.Load(),
+		"retrain_freeze_max_ns": t.ret.freezeNsMax.Load(),
+		"writer_spins":          t.writerSpins.Load(),
 	}
 }
 

@@ -18,6 +18,7 @@ func mustBulk(t *testing.T, opts Options, keys []uint64) *ALT {
 	if err := alt.Bulkload(dataset.Pairs(keys)); err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { alt.Close() })
 	return alt
 }
 
@@ -256,9 +257,16 @@ func TestRetrainingTriggersAndPreserves(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	alt.Quiesce() // retraining is asynchronous; drain the pipeline first
 	st := alt.StatsMap()
 	if st["retrains"] == 0 {
 		t.Fatalf("hot writes did not trigger retraining (stats %v)", st)
+	}
+	if st["retrain_freeze_ns"] == 0 || st["retrain_freeze_max_ns"] == 0 {
+		t.Fatalf("freeze-window accounting missing (stats %v)", st)
+	}
+	if st["retrain_pending"] != 0 || st["retrains_inflight"] != 0 {
+		t.Fatalf("pipeline not drained after Quiesce (stats %v)", st)
 	}
 	if alt.Len() != len(keys) {
 		t.Fatalf("Len = %d, want %d", alt.Len(), len(keys))
@@ -457,6 +465,7 @@ func TestConcurrentMixedWithRetraining(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+	alt.Quiesce()
 	// Every hot-inserted key must be present afterwards.
 	for w := 0; w < workers; w++ {
 		for _, k := range pending[w*perWorker : (w+1)*perWorker] {
@@ -486,7 +495,9 @@ func TestMemoryUsageAndStats(t *testing.T) {
 		t.Fatalf("MemoryUsage %d implausibly small", m)
 	}
 	st := alt.StatsMap()
-	for _, k := range []string{"models", "slots", "learned_keys", "art_keys", "fp_entries", "fp_requested", "retrains"} {
+	for _, k := range []string{"models", "slots", "learned_keys", "art_keys", "fp_entries", "fp_requested", "retrains",
+		"retrain_queue_depth", "retrain_pending", "retrains_inflight", "retrain_drops",
+		"retrain_merges", "retrain_freeze_ns", "retrain_freeze_max_ns", "writer_spins"} {
 		if _, ok := st[k]; !ok {
 			t.Fatalf("missing stat %q", k)
 		}
@@ -628,6 +639,7 @@ func TestRetrainEmptyRangeKeepsCoverage(t *testing.T) {
 		_ = alt.Insert(k, k)
 		ins = append(ins, k)
 	}
+	alt.Quiesce()
 	for _, k := range ins {
 		if v, ok := alt.Get(k); !ok || v != k {
 			t.Fatalf("range key %d lost (%d,%v)", k, v, ok)
@@ -649,6 +661,7 @@ func TestStatsConsistentAfterChurn(t *testing.T) {
 			alt.Remove(loaded[i%len(loaded)])
 		}
 	}
+	alt.Quiesce()
 	st := alt.StatsMap()
 	if st["learned_keys"]+st["art_keys"] != int64(alt.Len()) {
 		t.Fatalf("layer accounting drifted: %d+%d != %d",

@@ -22,6 +22,7 @@ import (
 
 	"altindex/internal/failpoint"
 	"altindex/internal/index"
+	"altindex/internal/indextest"
 	"altindex/internal/xrand"
 )
 
@@ -103,6 +104,11 @@ type chaosConfig struct {
 	// mustFire lists sites whose hit counter must be positive after the
 	// run, proving the scenario exercised its target window.
 	mustFire []string
+	// opts overrides the index configuration (nil means the harness
+	// default), letting scenarios pick queue sizes and worker counts.
+	opts *Options
+	// check, when set, runs scenario-specific assertions after the audit.
+	check func(t *testing.T, idx *ALT)
 }
 
 // runChaosWorkload drives writers+readers over a bulkloaded index with the
@@ -123,7 +129,12 @@ func runChaosWorkload(t *testing.T, cfg chaosConfig) (*ALT, map[uint64]uint64) {
 		keyStride    = 64
 	)
 
-	idx := New(Options{ErrorBound: 16, RetrainMinInserts: 192})
+	opts := Options{ErrorBound: 16, RetrainMinInserts: 192}
+	if cfg.opts != nil {
+		opts = *cfg.opts
+	}
+	idx := New(opts)
+	t.Cleanup(func() { idx.Close() })
 	// Grid keys i*stride+7 are writer-owned; i*stride+31 are immutable
 	// sentinels no writer touches, so readers can assert exact values
 	// mid-flight (a live no-lost-writes check, not just post-quiesce).
@@ -266,6 +277,9 @@ func runChaosWorkload(t *testing.T, cfg chaosConfig) (*ALT, map[uint64]uint64) {
 	for site := range cfg.specs {
 		failpoint.Disable(site)
 	}
+	// Drain the asynchronous retraining pipeline so the audit observes a
+	// settled index, not a mid-rebuild one.
+	idx.Quiesce()
 
 	// Merge expected state: bulkload baseline, then each writer's final
 	// word on the keys it owns.
@@ -322,6 +336,38 @@ func TestChaosProtocol(t *testing.T) {
 			},
 			mustFire: []string{"core/batch/reload"},
 		},
+		{
+			// Retrain overflow: a one-deep queue behind one stalled worker
+			// forces trigger drops on the writer's enqueue path. The audit
+			// proves dropped triggers are deferred, never lost — and the
+			// check proves the overflow path actually ran.
+			name: "retrain-overflow",
+			specs: map[string]string{
+				"core/retrain/enqueue": "delay(100us)",
+				"core/retrain/freeze":  "delay(2ms)",
+			},
+			mustFire: []string{"core/retrain/enqueue"},
+			opts:     &Options{ErrorBound: 16, RetrainMinInserts: 32, RetrainWorkers: 1, RetrainQueue: 1},
+			check: func(t *testing.T, idx *ALT) {
+				if idx.ret.drops.Load() == 0 {
+					t.Error("overflow scenario produced no trigger drops")
+				}
+			},
+		},
+		{
+			// Concurrent splice: several workers rebuild disjoint ranges
+			// while every splice stalls between taking the publish lock and
+			// re-resolving the table — the interleaving per-range admission
+			// must make safe (each splice lands on a table a concurrent
+			// rebuild just replaced).
+			name: "concurrent-splice",
+			specs: map[string]string{
+				"core/retrain/splice":  "delay(200us)",
+				"core/retrain/publish": "yield",
+			},
+			mustFire: []string{"core/retrain/splice"},
+			opts:     &Options{ErrorBound: 16, RetrainMinInserts: 192, RetrainWorkers: 4, RetrainQueue: 64},
+		},
 	} {
 		t.Run(cfg.name, func(t *testing.T) {
 			idx, want := runChaosWorkload(t, cfg)
@@ -330,13 +376,14 @@ func TestChaosProtocol(t *testing.T) {
 					t.Errorf("site %s never fired; scenario did not exercise its window", site)
 				}
 			}
-			if bad := auditALT(idx, want); len(bad) > 0 {
-				for _, b := range bad {
-					t.Error(b)
-				}
+			for _, b := range indextest.Audit(idx, want) {
+				t.Error(b)
 			}
 			if idx.retrains.Load() == 0 {
 				t.Error("no retraining happened; chaos run did not stress the rebuild path")
+			}
+			if cfg.check != nil {
+				cfg.check(t, idx)
 			}
 		})
 	}

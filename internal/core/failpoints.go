@@ -22,6 +22,16 @@ import "altindex/internal/failpoint"
 //	                      the copy-on-write table swap — the window where
 //	                      ART holds migrated keys and spinners must not
 //	                      escape early.
+//	core/retrain/enqueue  fires on the writer's trigger path, after the
+//	                      model is armed and before the trigger enters the
+//	                      bounded queue — stretching it piles triggers up
+//	                      and forces the queue-overflow drop/re-arm path.
+//	core/retrain/splice   fires just after a rebuild takes the publish
+//	                      lock and before it re-resolves the table —
+//	                      stretching it makes concurrent rebuilds of
+//	                      disjoint ranges collide on the splice, the
+//	                      interleaving the per-range admission must make
+//	                      safe.
 //	core/fpbuf/register   fires inside the fast-pointer buffer's append
 //	                      lock (§III-C), stalling concurrent registrations
 //	                      from lazy linking and retraining.
@@ -34,6 +44,8 @@ var (
 	fpWriteBack      = failpoint.New("core/writeback/locked")
 	fpRetrainFreeze  = failpoint.New("core/retrain/freeze")
 	fpRetrainPublish = failpoint.New("core/retrain/publish")
+	fpRetrainEnqueue = failpoint.New("core/retrain/enqueue")
+	fpRetrainSplice  = failpoint.New("core/retrain/splice")
 	fpFPBufRegister  = failpoint.New("core/fpbuf/register")
 	fpBatchReload    = failpoint.New("core/batch/reload")
 )

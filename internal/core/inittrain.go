@@ -32,10 +32,10 @@ func (t *ALT) maybeTrainInitial() {
 }
 
 func (t *ALT) trainInitial() {
-	if !t.retrainMu.TryLock() {
+	if !t.bootMu.TryLock() {
 		return
 	}
-	defer t.retrainMu.Unlock()
+	defer t.bootMu.Unlock()
 	if len(t.tab.Load().models) != 0 {
 		return
 	}
@@ -69,7 +69,11 @@ func (t *ALT) trainInitial() {
 	t.preMu.Lock()
 	t.tab.Store(newTab)
 	t.preMu.Unlock()
-	// k0 momentarily lives in both layers; rebuild gathers and dedups it
-	// (the model copy wins) while retraining the whole keyspace.
-	t.rebuild(newTab, boot, 0)
+	// k0 momentarily lives in both layers; the rebuild gathers and dedups
+	// it (the model copy wins) while retraining the whole keyspace. The
+	// bootstrap rebuild runs synchronously through the ordinary pipeline —
+	// arming the model first so writer triggers cannot double-queue it.
+	boot.retrainArmed.Store(true)
+	t.ret.pending.Add(1)
+	t.processRetrain(boot, false)
 }

@@ -36,6 +36,11 @@ type model struct {
 	buildSize int          // keys placed at build time
 	inserts   atomic.Int64 // runtime in-place inserts
 	overflow  atomic.Int64 // runtime inserts evicted to ART
+
+	// retrainArmed dedups retraining triggers: set by the first
+	// threshold-crossing writer (who enqueues the model), cleared when the
+	// rebuild finishes or the trigger is dropped on queue overflow.
+	retrainArmed atomic.Bool
 }
 
 // buildModel lays seg's keys out in a gapped array scaled by gapFactor.
@@ -141,6 +146,16 @@ func (m *model) freeze() {
 				runtime.Gosched() // in-flight writer; let it finish
 			}
 		}
+	}
+}
+
+// unfreeze releases every slot lock taken by freeze, bumping versions and
+// preserving state flags. Used to back out of a splice-time placeholder
+// absorption that lost a race to a writer.
+func (m *model) unfreeze() {
+	for s := 0; s < m.nslots; s++ {
+		cur := m.meta[s].Load()
+		m.meta[s].Store((cur>>slotVerShift+1)<<slotVerShift | cur&(slotOccupied|slotTomb))
 	}
 }
 

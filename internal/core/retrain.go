@@ -1,19 +1,141 @@
 package core
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"altindex/internal/gpl"
 )
 
-// maybeRetrain implements the §III-F trigger: a model whose runtime
-// insertions exceed its build size is crowded — subsequent inserts would
-// all spill into ART — so it is rebuilt with doubled gap capacity. The
-// trigger is floored (Options.RetrainMinInserts) so that small models do
-// not thrash through rebuilds; the paper's 200M-key models are large
-// enough that build size alone is a sane floor, scaled-down ones are not.
-// At most one retraining runs at a time; contenders simply skip.
-func (t *ALT) maybeRetrain(tb *table, m *model, pos int) {
+// §III-F retraining, asynchronous edition.
+//
+// The paper's trigger — a model whose runtime insertions exceed its build
+// size is crowded, so subsequent inserts all spill into ART — used to run
+// the whole freeze→collect→GPL-retrain→splice rebuild inline on the
+// triggering writer, under one global mutex. That made every crowded model
+// a tail-latency event for whichever writer tripped it, and serialized
+// rebuilds of unrelated key ranges behind each other.
+//
+// The pipeline now has three stages:
+//
+//  1. Trigger (writer's critical path): maybeRetrain costs two counter
+//     loads; past the threshold, one CAS on the model's armed flag dedups
+//     concurrent triggers and the model pointer goes into a bounded
+//     channel. On overflow the trigger is dropped but the model re-armed,
+//     so the next threshold-crossing insert re-triggers it — a dropped
+//     trigger is deferred, never lost.
+//  2. Admission (worker): the worker resolves the model's immutable
+//     routing range and claims it in the active-range set. Ranges of live
+//     models are disjoint, so unrelated rebuilds run concurrently; the
+//     claim exists to serialize against splice-time placeholder absorption
+//     and to make overlap structurally impossible.
+//  3. Rebuild + publish: the freeze window is shrunk by hoisting the
+//     expensive work out of it (see rebuild), and the copy-on-write table
+//     splice serializes under a short publish lock during which adjacent
+//     empty placeholder models are absorbed, so the table stops growing
+//     monotonically under churn.
+//
+// Options.RetrainWorkers < 0 restores the synchronous behavior (the
+// triggering writer pays the rebuild inline) as the tail-latency baseline.
+
+// keyRange is an inclusive key interval claimed by an in-flight rebuild.
+type keyRange struct{ lo, hi uint64 }
+
+// retrainer owns the background retraining state of one ALT.
+type retrainer struct {
+	q      chan *model
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+	closed atomic.Bool
+
+	// mu guards active, the set of key ranges claimed by in-flight
+	// rebuilds (including splice-time placeholder absorption).
+	mu     sync.Mutex
+	active []keyRange
+
+	// publishMu serializes copy-on-write table splices. Held only for the
+	// splice itself (array copies + store), never across a freeze or a
+	// segmentation.
+	publishMu sync.Mutex
+
+	pending  atomic.Int64 // triggers accepted and not yet finished
+	inflight atomic.Int64 // rebuilds currently executing
+	drops    atomic.Int64 // triggers dropped on queue overflow (re-armed)
+	merges   atomic.Int64 // placeholder models absorbed during splices
+
+	freezeNsTotal atomic.Int64 // cumulative freeze-window duration
+	freezeNsMax   atomic.Int64 // longest single freeze window
+}
+
+// ensureWorkers starts the worker pool on the first trigger, so idle
+// indexes never own goroutines.
+func (r *retrainer) ensureWorkers(t *ALT) {
+	r.once.Do(func() { r.launch(t) })
+}
+
+func (r *retrainer) launch(t *ALT) {
+	n := t.opts.RetrainWorkers
+	if n < 0 {
+		return // synchronous mode: no pool
+	}
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0) / 2
+		if n < 1 {
+			n = 1
+		}
+		if n > 4 {
+			n = 4
+		}
+	}
+	for i := 0; i < n; i++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case m := <-r.q:
+					t.processRetrain(m, true)
+				}
+			}
+		}()
+	}
+}
+
+// tryAcquire claims [lo, hi] if it overlaps no active claim.
+func (r *retrainer) tryAcquire(lo, hi uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range r.active {
+		if lo <= a.hi && a.lo <= hi {
+			return false
+		}
+	}
+	r.active = append(r.active, keyRange{lo, hi})
+	return true
+}
+
+func (r *retrainer) release(lo, hi uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, a := range r.active {
+		if a.lo == lo && a.hi == hi {
+			r.active[i] = r.active[len(r.active)-1]
+			r.active = r.active[:len(r.active)-1]
+			return
+		}
+	}
+}
+
+// maybeRetrain is the writer-side trigger (§III-F): two counter loads on
+// the fast path, one CAS plus a non-blocking channel send when the model
+// crosses its threshold. The trigger is floored (Options.RetrainMinInserts)
+// so small models do not thrash through rebuilds.
+func (t *ALT) maybeRetrain(m *model) {
 	if t.opts.DisableRetraining {
 		return
 	}
@@ -24,70 +146,184 @@ func (t *ALT) maybeRetrain(tb *table, m *model, pos int) {
 	if m.inserts.Load()+m.overflow.Load() <= threshold {
 		return
 	}
-	if !t.retrainMu.TryLock() {
+	if !m.retrainArmed.CompareAndSwap(false, true) {
+		return // already queued or mid-rebuild
+	}
+	if t.opts.RetrainWorkers < 0 {
+		// Synchronous baseline: the triggering writer pays the rebuild.
+		t.ret.pending.Add(1)
+		t.processRetrain(m, false)
 		return
 	}
-	defer t.retrainMu.Unlock()
-	cur := t.tab.Load()
-	mm, i := cur.find(m.first)
-	if mm != m {
-		return // a previous retraining already replaced this model
-	}
-	t.rebuild(cur, m, i)
+	t.enqueueRetrain(m)
 }
 
-// rebuild is the expansion of §III-F, restructured around a copy-on-write
-// table swap (the Go-idiomatic equivalent of the paper's temporal-buffer
-// pointer update):
+// enqueueRetrain hands an armed model to the worker pool without blocking
+// the writer. A full queue drops the trigger but disarms the model, so a
+// later threshold-crossing insert re-enqueues it: the pre-async code lost
+// such triggers entirely (a failed TryLock left the crowded model silently
+// crowded until the next insert happened to re-trip the threshold — which
+// a starved model never did).
+func (t *ALT) enqueueRetrain(m *model) {
+	r := &t.ret
+	if r.closed.Load() {
+		m.retrainArmed.Store(false)
+		return
+	}
+	r.ensureWorkers(t)
+	fpRetrainEnqueue.Inject()
+	r.pending.Add(1)
+	select {
+	case r.q <- m:
+	default:
+		r.pending.Add(-1)
+		r.drops.Add(1)
+		m.retrainArmed.Store(false)
+	}
+}
+
+// processRetrain is one dequeued trigger: identity check, range admission,
+// rebuild. requeue selects the admission-failure policy — workers push the
+// still-armed model back (a crowding model waiting out a neighboring
+// splice must not be forgotten), synchronous callers drop and disarm.
 //
-//  1. Freeze the model's slots. Every reader/writer targeting the range
-//     now spins, reloading the table each attempt.
-//  2. Collect the frozen entries plus the range's ART residents (which
-//     are written back into the fresh model — the §III-F write-back).
-//  3. Re-segment with GPL and rebuild with doubled gaps ("twice larger"),
-//     evicting new conflicts to ART.
-//  4. Publish the spliced table; spinners escape to the new models.
-func (t *ALT) rebuild(tb *table, m *model, pos int) {
-	lo := tb.firsts[pos] // routing boundary, possibly below m.first
+// Accounting contract: pending was incremented when the trigger was
+// accepted; every terminal exit decrements it, a requeue is net zero.
+func (t *ALT) processRetrain(m *model, requeue bool) {
+	r := &t.ret
+	finish := func() {
+		m.retrainArmed.Store(false)
+		r.pending.Add(-1)
+	}
+	cur := t.tab.Load()
+	mm, pos := cur.find(m.first)
+	if mm != m {
+		finish() // replaced by a rebuild or absorbed since the trigger
+		return
+	}
+	lo, end := cur.rangeBounds(pos)
+	if !r.tryAcquire(lo, end) {
+		if requeue {
+			select {
+			case r.q <- m: // stays armed; net-zero on pending
+			default:
+				r.drops.Add(1)
+				finish()
+			}
+			runtime.Gosched() // let the conflicting rebuild progress
+			return
+		}
+		finish()
+		return
+	}
+	// Admitted. Re-verify identity: a splice may have replaced m between
+	// find and the claim. Boundaries are immutable while a model lives, so
+	// lo/end still denote this claim's range either way.
+	if mm, _ := t.tab.Load().find(m.first); mm != m {
+		r.release(lo, end)
+		finish()
+		return
+	}
+	r.inflight.Add(1)
+	t.rebuild(m, lo, end)
+	r.inflight.Add(-1)
+	r.release(lo, end)
+	finish()
+}
+
+// rangeBounds returns the inclusive key range routed to the model at
+// position pos. The bounds are immutable while the model lives: rebuilds
+// preserve the spliced range's lower boundary (see rebuild) and only the
+// owner of a range's claim may remove its boundaries.
+func (tb *table) rangeBounds(pos int) (lo, end uint64) {
+	lo = tb.firsts[pos]
 	if pos == 0 {
 		lo = 0 // model 0 also owns all keys below its first
 	}
-	end := tb.upperBound(pos) // exclusive, except MaxUint64 (inclusive)
+	end = tb.upperBound(pos) // exclusive, except MaxUint64 (inclusive)
 	if pos+1 < len(tb.firsts) {
 		end--
 	}
+	return lo, end
+}
 
-	m.freeze()
-	fpRetrainFreeze.Inject()
-	mk, mv := m.frozenEntries()
-
-	var ak, av []uint64
-	t.tree.ScanRange(lo, end, t.tree.Len()+1, func(k, v uint64) bool {
-		ak = append(ak, k)
-		av = append(av, v)
-		return true
-	})
-	for _, k := range ak {
-		t.tree.Remove(k)
-	}
-
-	keys, vals := mergeSorted(mk, mv, ak, av)
-
+// rebuild is the expansion of §III-F, restructured around a copy-on-write
+// table splice with a deliberately small freeze window:
+//
+//	pre-freeze   snapshot candidate keys (best-effort slot reads + the
+//	             range's ART residents) and run GPL segmentation on them;
+//	             allocate the replacement models' slot arrays. Writers
+//	             still run — staleness only means some keys land as
+//	             conflicts in ART, never a correctness issue, because slot
+//	             predictions are exact by construction.
+//	freeze       lock the model's slots (drains in-flight slot writers),
+//	             capture the exact entries, and bulk-remove the range's
+//	             ART residents in one RemoveRange traversal (the frozen
+//	             slots block every in-range ART mutation, so the removal
+//	             is an exact cut). Place the exact keys into the
+//	             pre-built models; evict conflicts to ART.
+//	publish      under the short publish lock: absorb adjacent empty
+//	             placeholder models into the splice, swap the table,
+//	             record the freeze-window duration.
+//
+// The freeze window therefore covers only slot draining, one ordered ART
+// traversal and array placement — segmentation and allocation moved off
+// it, and the old per-key tree.Remove loop (O(n·log n) descents) is one
+// bulk traversal now.
+func (t *ALT) rebuild(m *model, lo, end uint64) {
 	gap := t.opts.GapFactor * 2
 	if gap > 4 {
 		gap = 4
 	}
+
+	// --- Pre-freeze: candidate snapshot + segmentation + allocation. ---
+	cand := make([]uint64, 0, m.nslots/2)
+	for s := 0; s < m.nslots; s++ {
+		if k, _, meta, ok := m.read(s); ok && meta&slotOccupied != 0 {
+			cand = append(cand, k)
+		}
+	}
+	var artCand []uint64
+	t.tree.ScanRange(lo, end, t.tree.Len()+1, func(k, v uint64) bool {
+		artCand = append(artCand, k)
+		return true
+	})
+	candKeys := mergeSortedKeys(cand, artCand)
+	var shells []*model
+	if len(candKeys) > 0 {
+		off := 0
+		for _, seg := range gpl.Partition(candKeys, t.eps) {
+			shells = append(shells, newShell(seg, candKeys[off+seg.N-1], gap))
+			off += seg.N
+		}
+	}
+
+	// --- Freeze: drain writers, capture the exact range contents. ---
+	freezeStart := time.Now()
+	m.freeze()
+	fpRetrainFreeze.Inject()
+	mk, mv := m.frozenEntries()
+	drained := t.tree.RemoveRange(lo, end, nil)
+	ak := make([]uint64, len(drained))
+	av := make([]uint64, len(drained))
+	for i, kv := range drained {
+		ak[i], av[i] = kv.Key, kv.Value
+	}
+	keys, vals := mergeSorted(mk, mv, ak, av)
+
 	var newModels []*model
 	var newFirsts []uint64
-	if len(keys) == 0 {
+	switch {
+	case len(keys) == 0:
 		// Keep an empty placeholder so the table still covers the range.
 		em := emptyModel(m.first)
 		newModels = []*model{em}
 		newFirsts = []uint64{em.first}
-	} else {
-		segs := gpl.Partition(keys, t.eps)
+	case len(shells) == 0:
+		// No pre-freeze candidates but keys arrived before the freeze
+		// (tiny window): segment inside the freeze, the old way.
 		off := 0
-		for _, seg := range segs {
+		for _, seg := range gpl.Partition(keys, t.eps) {
 			nm, conflicts := buildModel(keys[off:off+seg.N], vals[off:off+seg.N], seg, gap)
 			for _, ci := range conflicts {
 				t.tree.Put(keys[off+ci], vals[off+ci])
@@ -96,35 +332,174 @@ func (t *ALT) rebuild(tb *table, m *model, pos int) {
 			newFirsts = append(newFirsts, nm.first)
 			off += seg.N
 		}
+	default:
+		newModels, newFirsts = t.fillShells(shells, keys, vals)
 	}
 
-	// Routing boundaries are immutable: the rebuilt range keeps its old
+	// --- Publish: splice + placeholder absorption under the short lock. ---
+	r := &t.ret
+	r.publishMu.Lock()
+	fpRetrainSplice.Inject()
+	cur := t.tab.Load()
+	mm, pos := cur.find(m.first)
+	if mm != m {
+		// Cannot happen while this rebuild holds the range claim: only
+		// the claim owner splices a range out. Loud beats losing the
+		// frozen keys silently.
+		r.publishMu.Unlock()
+		panic("core: frozen model vanished from the table during rebuild")
+	}
+
+	// Absorb adjacent never-written placeholders into this splice. A
+	// placeholder whose single slot is still state 0 proves its whole
+	// range empty (invariant 2: any ART key in the range would have
+	// forced the slot non-empty), so dropping it and letting this
+	// splice's models cover the range changes no lookup result. A
+	// tombstoned placeholder is NOT absorbable — its range may hold ART
+	// residents that need a non-empty predicted slot.
+	loIdx, hiIdx := pos, pos
+	var absorbed []keyRange
+	for loIdx > 0 && t.absorbNeighbor(cur, loIdx-1, &absorbed) {
+		loIdx--
+	}
+	for hiIdx+1 < len(cur.models) && t.absorbNeighbor(cur, hiIdx+1, &absorbed) {
+		hiIdx++
+	}
+	r.merges.Add(int64(len(absorbed)))
+
+	// Routing boundaries are immutable: the rebuilt span keeps its old
 	// lower bound even if its minimum key moved up, so no neighbour's
 	// routing range ever expands and every registered fast pointer keeps
 	// covering its model's range. (A model's prediction origin — its
 	// first field — is independent of the routing boundary; keys between
 	// the boundary and the origin clamp to slot 0.)
-	newFirsts[0] = tb.firsts[pos]
+	newFirsts[0] = cur.firsts[loIdx]
 
-	nf := make([]uint64, 0, len(tb.firsts)-1+len(newFirsts))
-	nm := make([]*model, 0, len(tb.models)-1+len(newModels))
-	nf = append(nf, tb.firsts[:pos]...)
+	nf := make([]uint64, 0, len(cur.firsts)-(hiIdx-loIdx+1)+len(newFirsts))
+	nm2 := make([]*model, 0, len(cur.models)-(hiIdx-loIdx+1)+len(newModels))
+	nf = append(nf, cur.firsts[:loIdx]...)
 	nf = append(nf, newFirsts...)
-	nf = append(nf, tb.firsts[pos+1:]...)
-	nm = append(nm, tb.models[:pos]...)
-	nm = append(nm, newModels...)
-	nm = append(nm, tb.models[pos+1:]...)
-	newTab := &table{firsts: nf, models: nm}
+	nf = append(nf, cur.firsts[hiIdx+1:]...)
+	nm2 = append(nm2, cur.models[:loIdx]...)
+	nm2 = append(nm2, newModels...)
+	nm2 = append(nm2, cur.models[hiIdx+1:]...)
+	newTab := &table{firsts: nf, models: nm2}
 
 	if !t.opts.DisableFastPointers {
 		for i, mmNew := range newModels {
-			t.registerFP(newTab, mmNew, pos+i)
+			t.registerFP(newTab, mmNew, loIdx+i)
 		}
 	}
 
 	fpRetrainPublish.Inject()
 	t.tab.Store(newTab)
 	t.retrains.Add(1)
+	freezeNs := time.Since(freezeStart).Nanoseconds()
+	r.publishMu.Unlock()
+
+	for _, a := range absorbed {
+		r.release(a.lo, a.hi)
+	}
+	r.freezeNsTotal.Add(freezeNs)
+	for {
+		old := r.freezeNsMax.Load()
+		if freezeNs <= old || r.freezeNsMax.CompareAndSwap(old, freezeNs) {
+			break
+		}
+	}
+}
+
+// absorbNeighbor tries to fold the placeholder model at table position i
+// into an in-progress splice. It claims the placeholder's range (so no
+// concurrent rebuild can also touch it), freezes its single slot and
+// verifies it is still never-written; any failure backs out. On success
+// the claim is recorded in *absorbed for release after the publish.
+func (t *ALT) absorbNeighbor(cur *table, i int, absorbed *[]keyRange) bool {
+	em := cur.models[i]
+	if em.nslots != 1 || stateOf(em.meta[0].Load()) != 0 {
+		return false
+	}
+	nlo, nend := cur.rangeBounds(i)
+	if !t.ret.tryAcquire(nlo, nend) {
+		return false
+	}
+	em.freeze()
+	if stateOf(em.meta[0].Load()) != 0 {
+		// A writer claimed the slot between the check and the freeze.
+		em.unfreeze()
+		t.ret.release(nlo, nend)
+		return false
+	}
+	*absorbed = append(*absorbed, keyRange{nlo, nend})
+	return true
+}
+
+// newShell allocates a model's slot arrays from a candidate segment
+// without placing any keys. last is the segment's largest candidate key;
+// exact keys above it simply clamp to the final slot and conflict-evict.
+func newShell(seg gpl.Segment, last uint64, gapFactor float64) *model {
+	if gapFactor < 1 {
+		gapFactor = 1
+	}
+	m := &model{first: seg.First, slope: seg.Slope * gapFactor}
+	m.fastIdx.Store(-1)
+	m.nslots = int(m.slope*float64(last-m.first)+0.5) + 1
+	if m.nslots < seg.N {
+		m.nslots = seg.N
+	}
+	m.keys = make([]atomic.Uint64, m.nslots)
+	m.vals = make([]atomic.Uint64, m.nslots)
+	m.meta = make([]atomic.Uint32, m.nslots)
+	return m
+}
+
+// fillShells places the exact post-freeze keys into the pre-allocated
+// shells, partitioning by shell boundary (shell i owns keys below shell
+// i+1's first). Slot collisions evict to ART — predictions stay exact by
+// construction, a stale candidate fit only raises the conflict rate.
+// Shells that end up empty are dropped.
+func (t *ALT) fillShells(shells []*model, keys, vals []uint64) ([]*model, []uint64) {
+	newModels := make([]*model, 0, len(shells))
+	newFirsts := make([]uint64, 0, len(shells))
+	ki := 0
+	for si, sh := range shells {
+		hi := ^uint64(0)
+		if si+1 < len(shells) {
+			hi = shells[si+1].first - 1
+		}
+		placed := 0
+		for ki < len(keys) && keys[ki] <= hi {
+			k, v := keys[ki], vals[ki]
+			ki++
+			s := sh.slotOf(k)
+			if sh.meta[s].Load()&slotOccupied != 0 {
+				t.tree.Put(k, v)
+				continue
+			}
+			sh.keys[s].Store(k)
+			sh.vals[s].Store(v)
+			sh.meta[s].Store(slotOccupied)
+			placed++
+		}
+		if placed == 0 {
+			continue // empty shell: neighbors' clamping covers its span
+		}
+		sh.buildSize = placed
+		newModels = append(newModels, sh)
+		newFirsts = append(newFirsts, sh.first)
+	}
+	if len(newModels) == 0 {
+		// All keys conflicted out of every shell (degenerate, but must
+		// keep invariant 2: those ART keys need a non-empty predicted
+		// slot). Fall back to one exact model over the full key set.
+		seg := gpl.Segment{First: keys[0], N: len(keys), Slope: shells[0].slope}
+		nm, conflicts := buildModel(keys, vals, seg, 1)
+		for _, ci := range conflicts {
+			t.tree.Put(keys[ci], vals[ci])
+		}
+		return []*model{nm}, []uint64{nm.first}
+	}
+	return newModels, newFirsts
 }
 
 // emptyModel returns a one-slot model covering first, used when a rebuilt
@@ -136,6 +511,29 @@ func emptyModel(first uint64) *model {
 	m.vals = make([]atomic.Uint64, 1)
 	m.meta = make([]atomic.Uint32, 1)
 	return m
+}
+
+// mergeSortedKeys merges two ascending key slices, dropping duplicates.
+func mergeSortedKeys(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // mergeSorted merges two ascending key streams (model entries and ART

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"altindex/internal/dataset"
+)
+
+// TestRetrainRearmOnDrop is the regression test for the lost-trigger
+// window: a trigger dropped on queue overflow must leave the model
+// re-armable, so a later threshold-crossing insert retrains it. The
+// pre-async code could lose such triggers entirely — a failed TryLock
+// left the crowded model crowded until a future insert happened to
+// re-trip the threshold, which a starved (no-longer-written) model
+// never did.
+func TestRetrainRearmOnDrop(t *testing.T) {
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = uint64(i) * 1000
+	}
+	alt := mustBulk(t, Options{ErrorBound: 16, RetrainMinInserts: 8, RetrainQueue: 1}, keys)
+
+	// Consume the worker-launch once so no worker drains the queue, then
+	// wedge the queue with a decoy model that is not in the table. The
+	// accounting mirrors enqueueRetrain: armed + pending before the send.
+	alt.ret.once.Do(func() {})
+	decoy := emptyModel(0)
+	decoy.retrainArmed.Store(true)
+	alt.ret.pending.Add(1)
+	alt.ret.q <- decoy
+
+	// Crowd one model far past its threshold. Every trigger hits the full
+	// queue: it must be dropped AND the model disarmed.
+	hot := uint64(100_000)
+	for i := uint64(0); i < 600; i++ {
+		if err := alt.Insert(hot+i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if alt.ret.drops.Load() == 0 {
+		t.Fatal("full queue produced no drops")
+	}
+	if alt.retrains.Load() != 0 {
+		t.Fatal("retrain ran with no workers and a wedged queue")
+	}
+	m, _ := alt.tab.Load().find(hot)
+	if m.retrainArmed.Load() {
+		t.Fatal("dropped trigger left the model armed — future triggers are dead")
+	}
+
+	// Start the workers and let them drain the decoy, then a further burst
+	// of inserts must re-arm and retrain the starved model. (The trigger
+	// sits on the conflict branch, so a burst — not a single key — makes
+	// sure at least one insert evicts to ART and re-trips it.)
+	alt.ret.launch(alt)
+	alt.Quiesce()
+	for i := uint64(600); i < 640; i++ {
+		if err := alt.Insert(hot+i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alt.Quiesce()
+	if alt.retrains.Load() == 0 {
+		t.Fatal("re-armed trigger did not retrain")
+	}
+	for i := uint64(0); i < 640; i++ {
+		if v, ok := alt.Get(hot + i); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v after retrain", hot+i, v, ok)
+		}
+	}
+}
+
+// TestConcurrentDisjointRetrains hammers several far-apart key regions
+// from concurrent writers so multiple models cross their retrain
+// thresholds together. Disjoint ranges must rebuild concurrently without
+// losing keys; run under -race this also exercises the admission and
+// publish locking.
+func TestConcurrentDisjointRetrains(t *testing.T) {
+	keys := dataset.Generate(dataset.OSM, 30000, 41)
+	alt := mustBulk(t, Options{ErrorBound: 16, RetrainMinInserts: 64, RetrainWorkers: 4}, keys)
+
+	const writers = 8
+	const perWriter = 4000
+	span := ^uint64(0) / writers
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := span*uint64(w) + 1 // regions are disjoint by construction
+			for i := uint64(0); i < perWriter; i++ {
+				k := base + i*3
+				if err := alt.Insert(k, k^0xabc); err != nil {
+					panic(err)
+				}
+				if i%64 == 0 {
+					if _, ok := alt.Get(k); !ok {
+						panic(fmt.Sprintf("key %d vanished mid-churn", k))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	alt.Quiesce()
+
+	st := alt.StatsMap()
+	if st["retrains"] == 0 {
+		t.Fatalf("hot disjoint writes did not retrain (stats %v)", st)
+	}
+	for w := 0; w < writers; w++ {
+		base := span*uint64(w) + 1
+		for i := uint64(0); i < perWriter; i++ {
+			k := base + i*3
+			if v, ok := alt.Get(k); !ok || v != k^0xabc {
+				t.Fatalf("Get(%d) = %d,%v after concurrent retrains", k, v, ok)
+			}
+		}
+	}
+	if st["learned_keys"]+st["art_keys"] != int64(alt.Len()) {
+		t.Fatalf("layer accounting off after quiesce: %v vs Len %d", st, alt.Len())
+	}
+}
+
+// TestPlaceholderAbsorption drives a range empty, retrains it into a
+// one-slot placeholder, then retrains its left neighbor and checks the
+// splice absorbed the placeholder — the table must shrink, not grow
+// monotonically under churn.
+func TestPlaceholderAbsorption(t *testing.T) {
+	// Three well-separated clusters segment into (at least) three models.
+	var keys []uint64
+	for i := uint64(0); i < 300; i++ {
+		keys = append(keys, 1_000+i*7)
+	}
+	for i := uint64(0); i < 300; i++ {
+		keys = append(keys, 10_000_000+i*5)
+	}
+	for i := uint64(0); i < 300; i++ {
+		keys = append(keys, 20_000_000+i*11)
+	}
+	alt := mustBulk(t, Options{ErrorBound: 8, DisableRetraining: true}, keys)
+
+	tab := alt.tab.Load()
+	if len(tab.models) < 3 {
+		t.Skipf("clusters segmented into %d models; need >= 3", len(tab.models))
+	}
+	mid, pos := tab.find(10_000_000)
+	lo, end := tab.rangeBounds(pos)
+	for _, k := range keys {
+		if k >= lo && k <= end {
+			if !alt.Remove(k) {
+				t.Fatalf("Remove(%d) failed", k)
+			}
+		}
+	}
+
+	retrain := func(m *model) {
+		m.retrainArmed.Store(true)
+		alt.ret.pending.Add(1)
+		alt.processRetrain(m, false)
+	}
+
+	// Retrain the emptied range: it must collapse to a placeholder.
+	retrain(mid)
+	tab = alt.tab.Load()
+	ph, phPos := tab.find(10_000_000)
+	if ph.nslots != 1 || stateOf(ph.meta[0].Load()) != 0 {
+		t.Fatalf("emptied range did not become a never-written placeholder (nslots=%d meta=%x)",
+			ph.nslots, ph.meta[0].Load())
+	}
+	before := len(tab.models)
+
+	// Retrain the left neighbor: the splice must absorb the placeholder.
+	left := tab.models[phPos-1]
+	retrain(left)
+	tab = alt.tab.Load()
+	if alt.ret.merges.Load() == 0 {
+		t.Fatalf("neighbor rebuild absorbed no placeholder (models %d -> %d)", before, len(tab.models))
+	}
+	if len(tab.models) >= before {
+		t.Fatalf("table did not shrink: %d -> %d models", before, len(tab.models))
+	}
+	// Absorption must not change any lookup result.
+	for _, k := range keys {
+		v, ok := alt.Get(k)
+		if k >= lo && k <= end {
+			if ok {
+				t.Fatalf("removed key %d resurfaced after absorption", k)
+			}
+		} else if !ok || v != dataset.ValueFor(k) {
+			t.Fatalf("Get(%d) = %d,%v after absorption", k, v, ok)
+		}
+	}
+}
+
+// TestSyncBaselineMode checks RetrainWorkers < 0: the triggering writer
+// rebuilds inline, no goroutines launch, and no Quiesce is needed before
+// observing the retrain.
+func TestSyncBaselineMode(t *testing.T) {
+	keys := make([]uint64, 512)
+	for i := range keys {
+		keys[i] = uint64(i) * 100
+	}
+	alt := mustBulk(t, Options{ErrorBound: 16, RetrainMinInserts: 8, RetrainWorkers: -1}, keys)
+	hot := uint64(20_000)
+	for i := uint64(0); i < 1200; i++ {
+		if err := alt.Insert(hot+i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if alt.retrains.Load() == 0 {
+		t.Fatal("synchronous mode did not retrain inline")
+	}
+	if alt.ret.pending.Load() != 0 {
+		t.Fatal("synchronous mode left pending accounting nonzero")
+	}
+	for i := uint64(0); i < 1200; i++ {
+		if v, ok := alt.Get(hot + i); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", hot+i, v, ok)
+		}
+	}
+}

@@ -24,6 +24,12 @@ import (
 // It is exported so engine-specific suites (core chaos, memdb chaos) and
 // the shared conformance suite audit with the same rules.
 func Audit(ix index.Concurrent, want map[uint64]uint64) []string {
+	// Engines with asynchronous maintenance (e.g. background retraining)
+	// expose Quiesce; drain it so the audit never observes a mid-rebuild
+	// state as a violation.
+	if q, ok := ix.(interface{ Quiesce() }); ok {
+		q.Quiesce()
+	}
 	const maxViolations = 25
 	var bad []string
 	report := func(format string, args ...any) bool {

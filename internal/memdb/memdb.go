@@ -55,6 +55,18 @@ func (db *DB) CreateTable(name string, columns int) *Table {
 	return t
 }
 
+// Close stops the background machinery (retraining workers) of every
+// table's indexes. The data stays readable; Close is for reaping
+// goroutines when a DB is discarded or the process shuts down.
+func (db *DB) Close() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, t := range db.tables {
+		t.Close()
+	}
+	return nil
+}
+
 // Table returns a registered table.
 func (db *DB) Table(name string) (*Table, error) {
 	db.mu.RLock()
@@ -94,6 +106,28 @@ func newTable(name string, columns int) *Table {
 		primary:   core.New(core.Options{}),
 		rows:      newArena(columns),
 		secondary: map[string]*Secondary{},
+	}
+}
+
+// Close stops the retraining workers of the primary and every secondary
+// index after draining any in-flight rebuilds. Reads remain valid.
+func (t *Table) Close() {
+	closeIndex(t.primary)
+	t.imu.RLock()
+	defer t.imu.RUnlock()
+	for _, s := range t.secondary {
+		closeIndex(s.ix)
+	}
+}
+
+// closeIndex settles and stops an index's background machinery when the
+// implementation has any (the ALT retraining pool).
+func closeIndex(ix index.Concurrent) {
+	if q, ok := ix.(interface{ Quiesce() }); ok {
+		q.Quiesce()
+	}
+	if c, ok := ix.(interface{ Close() error }); ok {
+		_ = c.Close()
 	}
 }
 
