@@ -23,10 +23,33 @@ package altindex
 import (
 	"altindex/internal/core"
 	"altindex/internal/index"
+	"altindex/internal/shard"
 )
 
-// Index is the hybrid ALT-index. Create with New; safe for concurrent use.
-type Index = core.ALT
+// Index is the concurrent ordered-map surface of the hybrid ALT-index.
+// Create with New; safe for concurrent use. It is an interface because New
+// returns one of two layouts sharing the same protocol: a single core
+// instance (Options.Shards == 0, the paper's layout, unchanged) or a
+// range-partitioned front-end of independent core instances behind a
+// learned boundary router (Options.Shards > 1, internal/shard).
+type Index interface {
+	index.Concurrent
+	index.Batcher
+	index.Stats
+
+	// Quiesce blocks until background retraining triggered so far has
+	// drained, giving deterministic checkpoints (Save requires one).
+	Quiesce()
+	// Close stops background retraining machinery. The index stays usable;
+	// Close exists so long-lived processes can release the worker
+	// goroutines.
+	Close() error
+}
+
+var (
+	_ Index = (*core.ALT)(nil)
+	_ Index = (*shard.ALT)(nil)
+)
 
 // Options configure an Index; the zero value is the paper-recommended
 // default.
@@ -49,9 +72,17 @@ type Concurrent = index.Concurrent
 // ErrUnsortedBulk is returned by Bulkload for unsorted input.
 var ErrUnsortedBulk = index.ErrUnsortedBulk
 
-// New returns an empty ALT-index with the given options.
-func New(opts Options) *Index { return core.New(opts) }
+// New returns an empty ALT-index with the given options. Options.Shards
+// selects the layout: zero (or one) is a single instance, higher values
+// range-partition the keyspace into that many independent shards at
+// CDF-balanced boundaries (see internal/shard).
+func New(opts Options) Index {
+	if opts.Shards > 1 {
+		return shard.New(opts)
+	}
+	return core.New(opts)
+}
 
 // NewDefault returns an empty ALT-index with the paper-recommended
 // defaults.
-func NewDefault() *Index { return core.New(Options{}) }
+func NewDefault() Index { return core.New(Options{}) }

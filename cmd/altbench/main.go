@@ -36,6 +36,7 @@ func main() {
 		ops     = flag.Int("ops", 1_000_000, "operations per run")
 		seed    = flag.Uint64("seed", 1, "dataset/workload seed")
 		batch   = flag.String("batch", "", "comma-separated batch sizes for the 'batch' experiment (default 1,8,64,256)")
+		shards  = flag.Int("shards", 0, "extra shard count for the 'shard-scaling' sweep (0 = default sweep)")
 
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -87,7 +88,7 @@ func main() {
 	}
 
 	p := bench.Params{Keys: *keys, Threads: *threads, Ops: *ops, Seed: *seed,
-		BatchSizes: batchSizes, Out: os.Stdout}
+		BatchSizes: batchSizes, Shards: *shards, Out: os.Stdout}
 	ids := expand(*exp)
 	if len(ids) == 0 {
 		fmt.Fprintf(os.Stderr, "altbench: unknown experiment %q (try -list)\n", *exp)
@@ -96,6 +97,9 @@ func main() {
 
 	// Every runRow-backed result is recorded under its experiment id; -json
 	// dumps the lot machine-readably, with the scale parameters alongside.
+	// Sharded runs carry the skew monitor in Result.Stats: per-shard routed
+	// op counts (shard_ops_NN), shard_ops_max/mean, and the max/mean
+	// imbalance ratio scaled by 100 (shard_imbalance_x100).
 	type jsonRow struct {
 		Experiment string
 		bench.Result
@@ -120,10 +124,10 @@ func main() {
 
 	if *jsonOut != "" {
 		doc := struct {
-			Keys, Threads, Ops int
-			Seed               uint64
-			Runs               []jsonRow
-		}{*keys, *threads, *ops, *seed, rows}
+			Keys, Threads, Ops, Shards int
+			Seed                       uint64
+			Runs                       []jsonRow
+		}{*keys, *threads, *ops, *shards, *seed, rows}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "altbench: -json: %v\n", err)

@@ -40,6 +40,7 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-request read deadline")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
+		shards       = flag.Int("shards", 0, "range-partition the keyspace across this many index shards (0 = single instance)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		WriteTimeout: *writeTimeout,
 		DrainTimeout: *drainTimeout,
 		SnapshotPath: *snapshot,
+		Shards:       *shards,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -61,6 +61,11 @@ type Config struct {
 	// SnapshotPath, when set, is loaded at startup (if present) and
 	// written on graceful shutdown, via the crash-safe snapshot cycle.
 	SnapshotPath string
+	// Shards range-partitions the keyspace across this many independent
+	// index shards behind a learned boundary router. Zero (or one) keeps
+	// the single-instance layout. A snapshot saved with a different shard
+	// count still loads: the pairs are remapped into the requested layout.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,7 +89,7 @@ func (c Config) withDefaults() Config {
 // a real connection.
 type Server struct {
 	cfg Config
-	idx *altindex.Index
+	idx altindex.Index
 	sem chan struct{} // connection slots; acquired before Accept
 
 	mu    sync.Mutex
@@ -107,9 +112,10 @@ func NewServer() (*Server, error) {
 // (refusing to serve silently-empty data), a missing one starts fresh.
 func NewServerWith(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	idx := altindex.NewDefault()
+	opts := altindex.Options{Shards: cfg.Shards}
+	idx := altindex.New(opts)
 	if cfg.SnapshotPath != "" {
-		loaded, err := altindex.Load(cfg.SnapshotPath, altindex.Options{})
+		loaded, err := altindex.Load(cfg.SnapshotPath, opts)
 		switch {
 		case err == nil:
 			idx = loaded

@@ -125,22 +125,33 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 		Seed:    cfg.Seed + 1,
 	}, loaded, pending)
 
-	perThread := cfg.Ops / cfg.Threads
+	if cfg.Ops < 0 {
+		panic(fmt.Sprintf("bench: Ops = %d, must be positive", cfg.Ops))
+	}
+	// Distribute cfg.Ops across threads with the remainder spread over the
+	// first Ops%Threads of them, so every configured operation runs even
+	// when Ops is not a multiple of Threads — in particular Ops < Threads
+	// must not silently run zero operations.
+	base, rem := cfg.Ops/cfg.Threads, cfg.Ops%cfg.Threads
 	var hist histogram.Histogram
 	var wg sync.WaitGroup
 	start := make(chan struct{})
 	for tid := 0; tid < cfg.Threads; tid++ {
+		ops := base
+		if tid < rem {
+			ops++
+		}
 		wg.Add(1)
-		go func(tid int) {
+		go func(tid, ops int) {
 			defer wg.Done()
 			s := w.Stream(tid)
 			<-start
 			if cfg.BatchSize > 1 {
-				runThreadBatched(ix, s, perThread, cfg.BatchSize, cfg.LoopBatch, cfg.SampleEvery, &hist)
+				runThreadBatched(ix, s, ops, cfg.BatchSize, cfg.LoopBatch, cfg.SampleEvery, &hist)
 			} else {
-				runThread(ix, s, perThread, cfg.SampleEvery, &hist)
+				runThread(ix, s, ops, cfg.SampleEvery, &hist)
 			}
-		}(tid)
+		}(tid, ops)
 	}
 	t0 := time.Now()
 	close(start)
@@ -158,9 +169,9 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 		Dataset:   cfg.Dataset,
 		Mix:       cfg.Mix.Name,
 		Threads:   cfg.Threads,
-		Ops:       perThread * cfg.Threads,
+		Ops:       cfg.Ops,
 		Elapsed:   elapsed,
-		Mops:      float64(perThread*cfg.Threads) / elapsed.Seconds() / 1e6,
+		Mops:      float64(cfg.Ops) / elapsed.Seconds() / 1e6,
 		Mean:      hist.Mean(),
 		P50:       hist.Quantile(0.50),
 		P99:       hist.Quantile(0.99),

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"altindex/internal/core"
 	"altindex/internal/dataset"
 	"altindex/internal/workload"
 )
@@ -40,6 +41,56 @@ func TestRunReadOnlyKeepsLen(t *testing.T) {
 		Mix: workload.ReadOnly, Threads: 2, Ops: 5000, Seed: 2})
 	if r.Len != 5000 { // InitRatio 0.5 of 10000
 		t.Fatalf("Len=%d want 5000", r.Len)
+	}
+}
+
+// TestRunOpDistribution is the regression test for the per-thread op
+// division: Ops that don't divide Threads — in particular Ops < Threads,
+// which used to run zero operations — must still execute every configured
+// operation, and the reported Ops/Mops must reflect the configuration.
+func TestRunOpDistribution(t *testing.T) {
+	for _, tc := range []struct{ ops, threads int }{
+		{3, 8},   // fewer ops than threads: the old division ran nothing
+		{10, 4},  // remainder 2
+		{17, 16}, // remainder 1
+	} {
+		r := Run(ALT().New, Config{Dataset: dataset.Libio, Keys: 10000,
+			Mix: workload.WriteOnly, Threads: tc.threads, Ops: tc.ops, Seed: 3,
+			SampleEvery: 1})
+		if r.Ops != tc.ops {
+			t.Fatalf("ops=%d threads=%d: Result.Ops = %d", tc.ops, tc.threads, r.Ops)
+		}
+		// Write-only against a half-loaded dataset: every op inserts a
+		// fresh pending key, so the executed count is visible in Len.
+		if got := r.Len - 5000; got != tc.ops {
+			t.Fatalf("ops=%d threads=%d: %d ops executed", tc.ops, tc.threads, got)
+		}
+		if r.Mops <= 0 {
+			t.Fatalf("ops=%d threads=%d: Mops = %v", tc.ops, tc.threads, r.Mops)
+		}
+	}
+}
+
+func TestRunRejectsNegativeOps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Ops did not panic")
+		}
+	}()
+	Run(ALT().New, Config{Dataset: dataset.Libio, Keys: 1000, Threads: 2, Ops: -1})
+}
+
+// TestShardScalingFactory checks the sharded factory used by the
+// shard-scaling experiment builds a genuinely sharded index.
+func TestShardScalingFactory(t *testing.T) {
+	f := ALTSharded("ALT-S4", 4, core.Options{})
+	r := Run(f.New, Config{Dataset: dataset.OSM,
+		Keys: 20000, Mix: workload.Balanced, Threads: 2, Ops: 10000, Seed: 1})
+	if r.Stats["shards"] != 4 {
+		t.Fatalf("shards stat = %d, want 4", r.Stats["shards"])
+	}
+	if r.Stats["shard_ops_total"] == 0 {
+		t.Fatal("skew monitor recorded no routed ops")
 	}
 }
 

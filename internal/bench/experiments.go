@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"text/tabwriter"
 	"time"
 
@@ -28,6 +29,9 @@ type Params struct {
 	// Record, when set, receives every per-run Result an experiment's
 	// table rows are printed from (cmd/altbench -json feeds on it).
 	Record func(Result)
+	// Shards extends the shard-scaling experiment's shard-count sweep with
+	// this value when it is not already covered (cmd/altbench -shards).
+	Shards int
 }
 
 func (p Params) record(r Result) {
@@ -91,6 +95,7 @@ func Experiments() []Experiment {
 		{"fig10d", "Fig 10(d): bulkload time ALT vs ALEX+ vs LIPP+", Fig10d},
 		{"batch", "Batched throughput: model-grouped batch path vs per-key loop, all indexes", BatchSweep},
 		{"retrain-tail", "Retrain tail: hot-write writer latency, async vs inline retraining", RetrainTail},
+		{"shard-scaling", "Shard scaling: CDF-partitioned front-end vs unsharded, threads x shards x datasets", ShardScaling},
 		{"ablation-retrain", "Ablation: ALT hot-write with retraining on/off", AblationRetrain},
 		{"ablation-gap", "Ablation: ALT gap factor sweep, balanced", AblationGap},
 		{"ablation-writeback", "Ablation: ALT write-back scheme on/off", AblationWriteback},
@@ -605,6 +610,147 @@ func RetrainTail(p Params) {
 				r.Stats["retrains"], r.Stats["retrain_drops"],
 				float64(r.Stats["retrain_freeze_max_ns"])/1e3, r.Stats["writer_spins"])
 		}
+	}
+	tw.Flush()
+}
+
+// --- shard scaling -----------------------------------------------------------
+
+// shardSweepCounts is the shard-count axis of ShardScaling: 0 is the
+// unsharded baseline, the rest are sharded variants, extended with
+// p.Shards when the caller asks for a count the default sweep misses.
+func shardSweepCounts(p Params) []int {
+	counts := []int{0, 2, 4, 8}
+	if p.Shards > 1 {
+		seen := false
+		for _, s := range counts {
+			if s == p.Shards {
+				seen = true
+			}
+		}
+		if !seen {
+			counts = append(counts, p.Shards)
+		}
+	}
+	return counts
+}
+
+// shardSweepThreads is the thread axis: powers of two up to and always
+// including p.Threads.
+func shardSweepThreads(p Params) []int {
+	var ts []int
+	for _, th := range []int{1, 2, 4, 8, 16, 32} {
+		if th < p.Threads {
+			ts = append(ts, th)
+		}
+	}
+	return append(ts, p.Threads)
+}
+
+// ShardScaling measures what range-partitioning buys under a read-write
+// workload with hot inserts (the Fig 8(b) reserved range, which keeps the
+// retraining pipeline busy): the unsharded baseline against the sharded
+// front-end across shard counts, thread counts and datasets. Sharding's
+// wins are structural, not just parallel — each shard retrains models a
+// factor S smaller (eps is per-shard, so freezes are shorter and hit a
+// fraction of the keyspace) — so the sharded rows can lead even at low
+// thread counts. The final table reports per-shard-count speedup over the
+// unsharded baseline at the maximum thread count, plus the skew monitor's
+// imbalance ratio (100 = perfectly balanced shards).
+func ShardScaling(p Params) {
+	p = p.withDefaults()
+	header(p, "Shard scaling: CDF-partitioned front-end vs unsharded baseline")
+	counts := shardSweepCounts(p)
+	threads := shardSweepThreads(p)
+	datasets := []dataset.Name{dataset.Libio, dataset.OSM}
+
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Variant\tDataset\tThreads\tMops\tP50us\tP99us\tP99.9us\tRetrains\tFreezeMax(us)\tSpins\tImbal")
+	// best[dataset][shardCount] = Mops at the max thread count.
+	best := map[dataset.Name]map[int]float64{}
+	for _, ds := range datasets {
+		best[ds] = map[int]float64{}
+		for _, s := range counts {
+			f := ALT()
+			if s > 0 {
+				f = ALTSharded(fmt.Sprintf("ALT-S%d", s), s, core.Options{})
+			} else {
+				f.Name = "ALT-S0"
+			}
+			for _, th := range threads {
+				// Retrain scheduling makes single runs noisy (the same
+				// config can retrain 5x or 150x); take the median of three
+				// runs so the table reflects the configuration, not one
+				// lucky rebuild schedule.
+				const reps = 3
+				runs := make([]Result, 0, reps)
+				for rep := 0; rep < reps; rep++ {
+					runs = append(runs, Run(f.New, Config{Dataset: ds, Keys: p.Keys,
+						Mix: workload.Balanced, Threads: th, Ops: p.Ops,
+						Seed: p.Seed + uint64(rep)}))
+				}
+				sort.Slice(runs, func(i, j int) bool { return runs[i].Mops < runs[j].Mops })
+				r := runs[reps/2]
+				r.Index = f.Name
+				p.record(r)
+				imbal := "-"
+				if v, ok := r.Stats["shard_imbalance_x100"]; ok {
+					imbal = fmt.Sprintf("%.2f", float64(v)/100)
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%s\t%s\t%s\t%d\t%.1f\t%d\t%s\n",
+					f.Name, ds, th, r.Mops, us(r.P50), us(r.P99), us(r.P999),
+					r.Stats["retrains"], float64(r.Stats["retrain_freeze_max_ns"])/1e3,
+					r.Stats["writer_spins"], imbal)
+				if th == p.Threads {
+					best[ds][s] = r.Mops
+				}
+			}
+		}
+	}
+	tw.Flush()
+
+	fmt.Fprintf(p.Out, "\n-- speedup vs unsharded at %d threads --\n", p.Threads)
+	tw = newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tShards\tMops\tSpeedup")
+	for _, ds := range datasets {
+		base := best[ds][0]
+		for _, s := range counts {
+			if s == 0 {
+				fmt.Fprintf(tw, "%s\t%d\t%.2f\t1.00x\n", ds, 1, base)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2fx\n", ds, s, best[ds][s], best[ds][s]/base)
+		}
+	}
+	tw.Flush()
+
+	// Skew monitor under adversarial traffic: the hot-write reserved range
+	// lands entirely inside one shard, the worst case for a fixed-boundary
+	// partition. The table shows the monitor flagging it (imbalance = the
+	// hottest shard's share over the mean, 1.00 = perfectly even) — the
+	// operator signal that a re-bulkload is due.
+	fmt.Fprintf(p.Out, "\n-- skew monitor, hot-range writes at %d threads (osm) --\n", p.Threads)
+	tw = newTable(p.Out)
+	fmt.Fprintln(tw, "Variant\tMops\tImbalance\tHotShardOps")
+	for _, s := range counts {
+		if s == 0 {
+			continue
+		}
+		// The -hot suffix keeps these adversarial rows out of the uniform
+		// scaling grid when results/summarize.py parses the JSON.
+		f := ALTSharded(fmt.Sprintf("ALT-S%d-hot", s), s, core.Options{})
+		r := Run(f.New, Config{Dataset: dataset.OSM, Keys: p.Keys, Mix: workload.Balanced,
+			Hot: true, Threads: p.Threads, Ops: p.Ops, Seed: p.Seed})
+		r.Index = f.Name
+		p.record(r)
+		var hot int64
+		for i := 0; i < s; i++ {
+			if v := r.Stats[fmt.Sprintf("shard_ops_%02d", i)]; v > hot {
+				hot = v
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\n",
+			f.Name, r.Mops, float64(r.Stats["shard_imbalance_x100"])/100, hot)
 	}
 	tw.Flush()
 }

@@ -64,6 +64,21 @@ type Options struct {
 	// its learned layer automatically once the ART layer holds this many
 	// keys. Zero selects 8192; negative disables automatic training.
 	AutoTrainThreshold int
+	// Shards asks front-ends (altindex.New, memdb tables, the bench
+	// factories) for a range-partitioned index of this many independent
+	// ALT shards behind a learned boundary router (internal/shard). Zero
+	// keeps the single-instance layout. core.New itself ignores the field
+	// — one core.ALT is always one shard — so a single Options value can
+	// flow unchanged through the whole stack.
+	Shards int
+	// RetrainGate, when non-nil, is a shared semaphore bounding how many
+	// rebuilds may execute concurrently across every index holding the
+	// same channel: a worker sends before rebuilding and receives after.
+	// The sharded front-end hands one gate to all of its shards so the
+	// per-shard retraining pipelines share a global rebuild budget (one
+	// hot shard queues behind the gate instead of oversubscribing the
+	// CPU). Nil means ungated, the single-instance default.
+	RetrainGate chan struct{}
 }
 
 func (o Options) withDefaults() Options {

@@ -224,9 +224,27 @@ func (t *ALT) processRetrain(m *model, requeue bool) {
 		finish()
 		return
 	}
+	// Shared rebuild budget: when a gate is configured (the sharded
+	// front-end hands one gate to every shard), acquire a slot before the
+	// rebuild so the per-index pipelines cannot collectively oversubscribe
+	// the CPU. The range claim is already held, which is safe: claims are
+	// per-index and rebuilds never acquire a second gate slot, so gate
+	// waiters only ever wait on rebuilds that finish on their own.
+	if gate := t.opts.RetrainGate; gate != nil {
+		select {
+		case gate <- struct{}{}:
+		case <-r.stop:
+			r.release(lo, end)
+			finish()
+			return
+		}
+	}
 	r.inflight.Add(1)
 	t.rebuild(m, lo, end)
 	r.inflight.Add(-1)
+	if gate := t.opts.RetrainGate; gate != nil {
+		<-gate
+	}
 	r.release(lo, end)
 	finish()
 }

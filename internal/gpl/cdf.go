@@ -1,0 +1,71 @@
+package gpl
+
+// Sampled-CDF machinery. GPL segmentation (Algorithm 1) is itself a
+// piecewise fit of the key distribution's CDF; the helpers here expose the
+// same view of the data — position-as-a-function-of-key — for callers that
+// partition the keyspace rather than model it, e.g. the learned sharding
+// layer (internal/shard), which places shard boundaries at equal-depth
+// quantiles of the bulkload sample.
+
+// SampleKeys strides an ascending key array down to at most max keys,
+// always retaining the first and last key so the sample spans the full
+// range. It returns the input unchanged when it already fits. The result
+// aliases nothing: a fresh slice is returned whenever sampling happens.
+func SampleKeys(keys []uint64, max int) []uint64 {
+	if max < 2 {
+		max = 2
+	}
+	n := len(keys)
+	if n <= max {
+		return keys
+	}
+	out := make([]uint64, 0, max)
+	// Fixed-point stride over n-1 intervals mapped onto max-1 sample gaps.
+	for i := 0; i < max-1; i++ {
+		out = append(out, keys[i*(n-1)/(max-1)])
+	}
+	out = append(out, keys[n-1])
+	return out
+}
+
+// EqualDepthBounds returns parts-1 boundary keys splitting the ascending
+// key array into parts partitions of (approximately) equal key count —
+// equal-depth quantiles of the empirical CDF. Partition i owns keys k with
+// bounds[i-1] <= k < bounds[i] (partition 0 additionally owns everything
+// below bounds[0]).
+//
+// The boundaries are non-decreasing. They are NOT guaranteed distinct when
+// len(keys) < parts: duplicate boundaries delimit permanently empty
+// partitions, which routers handle naturally (an upper-bound search routes
+// every key past the duplicates). With no keys at all the bounds fall back
+// to equal-width splits of the full uint64 domain, so an empty index still
+// spreads future inserts.
+func EqualDepthBounds(keys []uint64, parts int) []uint64 {
+	if parts <= 1 {
+		return nil
+	}
+	bounds := make([]uint64, parts-1)
+	n := len(keys)
+	if n == 0 {
+		return EqualWidthBounds(parts)
+	}
+	for i := 1; i < parts; i++ {
+		bounds[i-1] = keys[i*n/parts]
+	}
+	return bounds
+}
+
+// EqualWidthBounds returns parts-1 boundaries splitting the full uint64
+// domain into parts equal-width ranges — the distribution-free fallback
+// used before any data is seen.
+func EqualWidthBounds(parts int) []uint64 {
+	if parts <= 1 {
+		return nil
+	}
+	step := ^uint64(0)/uint64(parts) + 1
+	bounds := make([]uint64, parts-1)
+	for i := 1; i < parts; i++ {
+		bounds[i-1] = step * uint64(i)
+	}
+	return bounds
+}

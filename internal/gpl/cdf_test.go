@@ -1,0 +1,97 @@
+package gpl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func ascendingKeys(n int, seed int64) []uint64 {
+	r := rand.New(rand.NewSource(seed))
+	m := map[uint64]struct{}{}
+	for len(m) < n {
+		m[r.Uint64()>>8] = struct{}{}
+	}
+	keys := make([]uint64, 0, n)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func TestSampleKeys(t *testing.T) {
+	keys := ascendingKeys(10000, 1)
+	s := SampleKeys(keys, 257)
+	if len(s) != 257 {
+		t.Fatalf("sample length %d, want 257", len(s))
+	}
+	if s[0] != keys[0] || s[len(s)-1] != keys[len(keys)-1] {
+		t.Fatal("sample must retain the first and last key")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("sample not strictly ascending at %d", i)
+		}
+	}
+	small := []uint64{1, 2, 3}
+	if got := SampleKeys(small, 10); len(got) != 3 {
+		t.Fatalf("undersized input must pass through, got %d keys", len(got))
+	}
+}
+
+// TestEqualDepthBounds checks the balance guarantee: partition populations
+// deviate from n/parts by at most the sampling granularity.
+func TestEqualDepthBounds(t *testing.T) {
+	keys := ascendingKeys(100003, 2)
+	for _, parts := range []int{2, 4, 7, 64} {
+		bounds := EqualDepthBounds(keys, parts)
+		if len(bounds) != parts-1 {
+			t.Fatalf("parts=%d: %d bounds", parts, len(bounds))
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				t.Fatalf("parts=%d: bounds decrease at %d", parts, i)
+			}
+		}
+		// Count keys per partition via the same routing rule the shard
+		// layer uses: partition = number of bounds <= key.
+		counts := make([]int, parts)
+		for _, k := range keys {
+			p := sort.Search(len(bounds), func(i int) bool { return bounds[i] > k })
+			counts[p]++
+		}
+		want := len(keys) / parts
+		for p, c := range counts {
+			if c < want-parts-1 || c > want+parts+1 {
+				t.Fatalf("parts=%d partition %d holds %d keys, want ~%d", parts, p, c, want)
+			}
+		}
+	}
+}
+
+func TestEqualDepthBoundsDegenerate(t *testing.T) {
+	if b := EqualDepthBounds([]uint64{7, 8, 9}, 1); b != nil {
+		t.Fatal("parts=1 must yield no bounds")
+	}
+	// Fewer keys than partitions: bounds may repeat but must not decrease.
+	b := EqualDepthBounds([]uint64{5}, 4)
+	if len(b) != 3 {
+		t.Fatalf("want 3 bounds, got %d", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatal("bounds decrease")
+		}
+	}
+	// Empty input falls back to equal-width coverage of the domain.
+	ew := EqualDepthBounds(nil, 4)
+	if len(ew) != 3 || ew[0] == 0 {
+		t.Fatalf("empty input must produce equal-width bounds, got %v", ew)
+	}
+	for i := 1; i < len(ew); i++ {
+		if ew[i] <= ew[i-1] {
+			t.Fatal("equal-width bounds must ascend")
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"altindex/internal/core"
 	"altindex/internal/index"
+	"altindex/internal/shard"
 )
 
 // Errors returned by table operations.
@@ -42,15 +43,32 @@ type DB struct {
 // NewDB returns an empty database.
 func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
 
+// TableOptions tune a table's storage layout; the zero value is the
+// default single-instance primary index.
+type TableOptions struct {
+	// Shards range-partitions the table's primary index across this many
+	// independent ALT shards behind a learned boundary router (zero or one
+	// keeps a single instance). Secondary indexes stay unsharded: they are
+	// value-ordered and typically far smaller. Snapshots do not persist
+	// this setting — a reloaded database uses whatever options its tables
+	// are recreated with.
+	Shards int
+}
+
 // CreateTable registers a table with the given number of user columns and
 // returns it. Creating an existing name returns the existing table.
 func (db *DB) CreateTable(name string, columns int) *Table {
+	return db.CreateTableWith(name, columns, TableOptions{})
+}
+
+// CreateTableWith is CreateTable with explicit layout options.
+func (db *DB) CreateTableWith(name string, columns int, opts TableOptions) *Table {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if t, ok := db.tables[name]; ok {
 		return t
 	}
-	t := newTable(name, columns)
+	t := newTable(name, columns, opts)
 	db.tables[name] = t
 	return t
 }
@@ -96,14 +114,20 @@ type Table struct {
 	deadHandle atomic.Int64 // stale row versions awaiting vacuum
 }
 
-func newTable(name string, columns int) *Table {
+func newTable(name string, columns int, opts TableOptions) *Table {
 	if columns < 1 {
 		columns = 1
+	}
+	var primary index.Concurrent
+	if opts.Shards > 1 {
+		primary = shard.New(core.Options{Shards: opts.Shards})
+	} else {
+		primary = core.New(core.Options{})
 	}
 	return &Table{
 		name:      name,
 		columns:   columns,
-		primary:   core.New(core.Options{}),
+		primary:   primary,
 		rows:      newArena(columns),
 		secondary: map[string]*Secondary{},
 	}

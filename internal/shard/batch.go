@@ -1,0 +1,263 @@
+package shard
+
+import (
+	"sync"
+
+	"altindex/internal/index"
+)
+
+// splitMin is the batch size below which per-key routing beats the
+// counting-sort split (mirrors core's getBatchMin).
+const splitMin = 8
+
+// fanoutMin is the batch size above which per-shard sub-batches run on
+// their own goroutines instead of sequentially in shard order.
+const fanoutMin = 2048
+
+// splitScratch holds the shard-grouped staging buffers for one batch
+// split: sid[i] is the shard of element i, cnt/start are the counting-sort
+// histogram and group offsets, and keys/vals/found/pos (gets) or pairs
+// (inserts) are the grouped payloads. Pooled so steady-state batches
+// allocate nothing.
+type splitScratch struct {
+	sid   []uint8
+	pos   []int32
+	keys  []index.Key
+	vals  []index.Value
+	found []bool
+	pairs []index.KV
+	cnt   [MaxShards + 1]int32
+	start [MaxShards + 1]int32
+}
+
+var splitPool = sync.Pool{New: func() any { return new(splitScratch) }}
+
+// maxPooledSplit caps the staging capacity retained by the pool; larger
+// one-off batches are allocated and dropped.
+const maxPooledSplit = 1 << 16
+
+func putSplit(sc *splitScratch) {
+	if cap(sc.sid) > maxPooledSplit {
+		return
+	}
+	splitPool.Put(sc)
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growKV(s []index.KV, n int) []index.KV {
+	if cap(s) < n {
+		return make([]index.KV, n)
+	}
+	return s[:n]
+}
+
+// splitByShard classifies n elements (via key(i)) into shard groups with a
+// stable counting sort: after the call sc.sid holds per-element shards,
+// sc.start[s]..sc.start[s+1] delimits shard s's group, and sc.cnt[s] is a
+// scatter cursor positioned at each group's start. Returns the number of
+// non-empty groups. O(n + S), no comparisons beyond the router's.
+func (sc *splitScratch) splitByShard(r *routing, n int, key func(int) index.Key) int {
+	ns := r.last + 1
+	sc.sid = growU8(sc.sid, n)
+	for i := 0; i <= ns; i++ {
+		sc.cnt[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		s := uint8(r.shardOf(key(i)))
+		sc.sid[i] = s
+		sc.cnt[s]++
+	}
+	touched := 0
+	off := int32(0)
+	for s := 0; s < ns; s++ {
+		if sc.cnt[s] > 0 {
+			touched++
+		}
+		sc.start[s] = off
+		off += sc.cnt[s]
+		sc.cnt[s] = sc.start[s] // becomes the scatter cursor
+	}
+	sc.start[ns] = off
+	return touched
+}
+
+// GetBatch implements index.Batcher: the batch is split by shard boundary
+// in O(B + S), each shard's group runs through that shard's native grouped
+// fast path, and results scatter back to the caller's positions. Groups
+// fan out to goroutines for large batches touching several shards.
+func (t *ALT) GetBatch(keys []index.Key, vals []index.Value, found []bool) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	r := t.route.Load()
+	fpRoute.Inject()
+	if r.last == 0 {
+		d := &r.shards[0]
+		d.ops.Add(int64(n))
+		d.ix.GetBatch(keys, vals, found)
+		return
+	}
+	if n < splitMin {
+		for i, k := range keys {
+			d := r.descOf(k)
+			d.ops.Add(1)
+			vals[i], found[i] = d.ix.Get(k)
+		}
+		return
+	}
+
+	sc := splitPool.Get().(*splitScratch)
+	touched := sc.splitByShard(r, n, func(i int) index.Key { return keys[i] })
+	sc.pos = growI32(sc.pos, n)
+	sc.keys = growU64(sc.keys, n)
+	sc.vals = growU64(sc.vals, n)
+	sc.found = growBool(sc.found, n)
+	for i, k := range keys {
+		p := sc.cnt[sc.sid[i]]
+		sc.cnt[sc.sid[i]] = p + 1
+		sc.keys[p] = k
+		sc.pos[p] = int32(i)
+	}
+
+	run := func(s int) {
+		lo, hi := sc.start[s], sc.start[s+1]
+		if lo == hi {
+			return
+		}
+		d := &r.shards[s]
+		d.ops.Add(int64(hi - lo))
+		d.ix.GetBatch(sc.keys[lo:hi], sc.vals[lo:hi], sc.found[lo:hi])
+		for j := lo; j < hi; j++ {
+			vals[sc.pos[j]] = sc.vals[j]
+			found[sc.pos[j]] = sc.found[j]
+		}
+	}
+	if n >= fanoutMin && touched > 1 {
+		var wg sync.WaitGroup
+		for s := 0; s <= r.last; s++ {
+			if sc.start[s] == sc.start[s+1] {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				run(s)
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for s := 0; s <= r.last; s++ {
+			run(s)
+		}
+	}
+	putSplit(sc)
+}
+
+// InsertBatch implements index.Batcher by splitting the batch across
+// shards like GetBatch. The split is a stable counting sort, so duplicate
+// keys — which always route to the same shard — keep their relative order
+// and last-writer-wins is preserved. On error, groups routed to other
+// shards may already have been applied; the error returned is the first
+// one in shard order (fan-out) or encounter order (sequential), which the
+// Batcher contract permits.
+func (t *ALT) InsertBatch(pairs []index.KV) error {
+	n := len(pairs)
+	if n == 0 {
+		return nil
+	}
+	r := t.route.Load()
+	fpRoute.Inject()
+	if r.last == 0 {
+		d := &r.shards[0]
+		d.ops.Add(int64(n))
+		return d.ix.InsertBatch(pairs)
+	}
+	if n < splitMin {
+		for _, kv := range pairs {
+			d := r.descOf(kv.Key)
+			d.ops.Add(1)
+			if err := d.ix.Insert(kv.Key, kv.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sc := splitPool.Get().(*splitScratch)
+	touched := sc.splitByShard(r, n, func(i int) index.Key { return pairs[i].Key })
+	sc.pairs = growKV(sc.pairs, n)
+	for i, kv := range pairs {
+		p := sc.cnt[sc.sid[i]]
+		sc.cnt[sc.sid[i]] = p + 1
+		sc.pairs[p] = kv
+	}
+
+	var firstErr error
+	if n >= fanoutMin && touched > 1 {
+		errs := make([]error, r.last+1)
+		var wg sync.WaitGroup
+		for s := 0; s <= r.last; s++ {
+			lo, hi := sc.start[s], sc.start[s+1]
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(s int, lo, hi int32) {
+				defer wg.Done()
+				d := &r.shards[s]
+				d.ops.Add(int64(hi - lo))
+				errs[s] = d.ix.InsertBatch(sc.pairs[lo:hi])
+			}(s, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	} else {
+		for s := 0; s <= r.last; s++ {
+			lo, hi := sc.start[s], sc.start[s+1]
+			if lo == hi {
+				continue
+			}
+			d := &r.shards[s]
+			d.ops.Add(int64(hi - lo))
+			if err := d.ix.InsertBatch(sc.pairs[lo:hi]); err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	putSplit(sc)
+	return firstErr
+}

@@ -1,0 +1,36 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"altindex/internal/core"
+	"altindex/internal/index"
+	"altindex/internal/indextest"
+	"altindex/internal/shard"
+)
+
+// TestShardConformance runs the full cross-implementation suite (audit,
+// churn invariants, batch semantics, concurrency) against the sharded
+// front-end. S=1 exercises the single-shard delegation paths, S=4 the
+// even split, and S=7 — deliberately prime — catches boundary-rounding
+// bugs an even count masks (keys/S divides cleanly only when S is a
+// power-of-two friend of the test sizes).
+func TestShardConformance(t *testing.T) {
+	for _, s := range []int{1, 4, 7} {
+		t.Run(fmt.Sprintf("S=%d", s), func(t *testing.T) {
+			indextest.Run(t, func() index.Concurrent {
+				return shard.New(core.Options{Shards: s})
+			})
+		})
+	}
+}
+
+// TestShardConformanceSmallErrorBound forces heavy ART-layer traffic in
+// every shard (tight per-shard ε), the configuration that stresses the
+// conflict paths behind the router.
+func TestShardConformanceSmallErrorBound(t *testing.T) {
+	indextest.Run(t, func() index.Concurrent {
+		return shard.New(core.Options{Shards: 4, ErrorBound: 32})
+	})
+}

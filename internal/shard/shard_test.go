@@ -1,0 +1,331 @@
+package shard
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"altindex/internal/core"
+	"altindex/internal/index"
+)
+
+func pairsOf(keys []uint64) []index.KV {
+	out := make([]index.KV, len(keys))
+	for i, k := range keys {
+		out[i] = index.KV{Key: k, Value: k * 3}
+	}
+	return out
+}
+
+func sortedKeys(n int, seed int64) []uint64 {
+	r := rand.New(rand.NewSource(seed))
+	m := map[uint64]struct{}{}
+	for len(m) < n {
+		m[r.Uint64()] = struct{}{}
+	}
+	keys := make([]uint64, 0, n)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// TestShardRouterMatchesSearch checks the branch-free probe ladder against
+// the reference upper-bound binary search for every shard count and a mix
+// of random, boundary and extreme keys.
+func TestShardRouterMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for s := 1; s <= MaxShards; s++ {
+		bounds := make([]uint64, s-1)
+		for i := range bounds {
+			bounds[i] = rng.Uint64()
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+		ix := New(core.Options{Shards: s})
+		if got := ix.Shards(); got != s {
+			t.Fatalf("Shards() = %d, want %d", got, s)
+		}
+		// Install the random bounds via the pinned-bounds constructor so
+		// the probe array under test is arbitrary, not equal-width.
+		ix.Close()
+		ix2, err := NewWithBounds(core.Options{}, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ix2.route.Load()
+		probe := make([]uint64, 0, 2*s+64)
+		for i := 0; i < 64; i++ {
+			probe = append(probe, rng.Uint64())
+		}
+		probe = append(probe, 0, 1, ^uint64(0), ^uint64(0)-1)
+		for _, b := range bounds {
+			probe = append(probe, b, b-1, b+1)
+		}
+		for _, k := range probe {
+			want := sort.Search(len(bounds), func(i int) bool { return bounds[i] > k })
+			if want > r.last {
+				want = r.last
+			}
+			if got := r.shardOf(k); got != want {
+				t.Fatalf("s=%d shardOf(%d) = %d, want %d (bounds %v)", s, k, got, want, bounds)
+			}
+		}
+		ix2.Close()
+	}
+}
+
+// TestShardBulkloadBalance checks that CDF-quantile boundaries spread a
+// skewed dataset evenly: after bulkloading, every shard holds within 20%
+// of the mean key count.
+func TestShardBulkloadBalance(t *testing.T) {
+	// Clustered keys: a distribution equal-width bounds would hash to one
+	// or two shards.
+	var keys []uint64
+	base := uint64(1) << 40
+	for i := 0; i < 50000; i++ {
+		keys = append(keys, base+uint64(i)*7)
+	}
+	for _, s := range []int{2, 5, 8} {
+		ix := New(core.Options{Shards: s})
+		if err := ix.Bulkload(pairsOf(keys)); err != nil {
+			t.Fatal(err)
+		}
+		r := ix.route.Load()
+		mean := len(keys) / s
+		for i := range r.shards {
+			n := r.shards[i].ix.Len()
+			if n < mean*8/10 || n > mean*12/10 {
+				t.Fatalf("s=%d shard %d holds %d keys, mean %d", s, i, n, mean)
+			}
+		}
+		ix.Close()
+	}
+}
+
+// TestShardBulkloadUnsortedRejected checks a bad load leaves prior
+// contents untouched.
+func TestShardBulkloadUnsortedRejected(t *testing.T) {
+	ix := New(core.Options{Shards: 4})
+	defer ix.Close()
+	if err := ix.Bulkload(pairsOf([]uint64{10, 20, 30})); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Bulkload([]index.KV{{Key: 5, Value: 1}, {Key: 4, Value: 2}}); err != index.ErrUnsortedBulk {
+		t.Fatalf("unsorted bulkload: err = %v, want ErrUnsortedBulk", err)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("failed bulkload disturbed contents: Len = %d, want 3", ix.Len())
+	}
+	if v, ok := ix.Get(20); !ok || v != 60 {
+		t.Fatalf("Get(20) = (%d,%v) after failed bulkload", v, ok)
+	}
+}
+
+// TestShardScanStitch checks scans concatenate across shard boundaries in
+// order, honor the budget, and stop early when the callback declines.
+func TestShardScanStitch(t *testing.T) {
+	keys := sortedKeys(20000, 4)
+	ix := New(core.Options{Shards: 7})
+	defer ix.Close()
+	if err := ix.Bulkload(pairsOf(keys)); err != nil {
+		t.Fatal(err)
+	}
+	starts := []uint64{0, keys[0], keys[len(keys)/2] + 1, keys[len(keys)-1], ^uint64(0)}
+	for _, b := range ix.Bounds() {
+		starts = append(starts, b-1, b, b+1)
+	}
+	for _, start := range starts {
+		for _, n := range []int{1, 100, 5000} {
+			var got []uint64
+			ret := ix.Scan(start, n, func(k, v uint64) bool {
+				if v != k*3 {
+					t.Fatalf("Scan value mismatch at %d", k)
+				}
+				got = append(got, k)
+				return true
+			})
+			if ret != len(got) {
+				t.Fatalf("Scan returned %d, visited %d", ret, len(got))
+			}
+			first := sort.Search(len(keys), func(i int) bool { return keys[i] >= start })
+			want := keys[first:]
+			if len(want) > n {
+				want = want[:n]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Scan(%d,%d) visited %d keys, want %d", start, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Scan(%d,%d)[%d] = %d, want %d", start, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// Early stop: callback declines after 3 pairs.
+	seen := 0
+	ix.Scan(0, 1000, func(uint64, uint64) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("early-stop scan visited %d pairs, want 3", seen)
+	}
+}
+
+// TestShardRange checks the iterator form agrees with Scan across shard
+// boundaries.
+func TestShardRange(t *testing.T) {
+	keys := sortedKeys(3000, 5)
+	ix := New(core.Options{Shards: 4})
+	defer ix.Close()
+	if err := ix.Bulkload(pairsOf(keys)); err != nil {
+		t.Fatal(err)
+	}
+	i := 1000
+	for k, v := range ix.Range(keys[1000]) {
+		if k != keys[i] || v != k*3 {
+			t.Fatalf("Range[%d] = (%d,%d), want (%d,%d)", i, k, v, keys[i], keys[i]*3)
+		}
+		i++
+	}
+	if i != len(keys) {
+		t.Fatalf("Range visited %d keys, want %d", i-1000, len(keys)-1000)
+	}
+}
+
+// TestShardStatsAggregation checks StatsMap sums counters, maxes the
+// freeze high-water mark, and reports the skew monitor.
+func TestShardStatsAggregation(t *testing.T) {
+	keys := sortedKeys(8000, 6)
+	ix := New(core.Options{Shards: 4})
+	defer ix.Close()
+	if err := ix.Bulkload(pairsOf(keys)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:4000] {
+		ix.Get(k)
+	}
+	st := ix.StatsMap()
+	if st["shards"] != 4 {
+		t.Fatalf("shards = %d, want 4", st["shards"])
+	}
+	if st["learned_keys"]+st["art_keys"] != int64(len(keys)) {
+		t.Fatalf("layer keys sum to %d, want %d", st["learned_keys"]+st["art_keys"], len(keys))
+	}
+	var sum int64
+	for i := 0; i < 4; i++ {
+		sum += st[[...]string{"shard_ops_00", "shard_ops_01", "shard_ops_02", "shard_ops_03"}[i]]
+	}
+	if sum != 4000 || st["shard_ops_total"] != 4000 {
+		t.Fatalf("per-shard ops sum %d, total %d, want 4000", sum, st["shard_ops_total"])
+	}
+	if st["shard_ops_max"] < st["shard_ops_mean"] {
+		t.Fatal("shard_ops_max below mean")
+	}
+	if st["shard_imbalance_x100"] < 100 {
+		t.Fatalf("imbalance ratio %d < 100", st["shard_imbalance_x100"])
+	}
+}
+
+// TestShardNewWithBounds checks boundary validation and that pinned
+// boundaries survive Bulkload (the snapshot-restore contract).
+func TestShardNewWithBounds(t *testing.T) {
+	if _, err := NewWithBounds(core.Options{}, []uint64{5, 4}); err == nil {
+		t.Fatal("decreasing bounds accepted")
+	}
+	if _, err := NewWithBounds(core.Options{}, make([]uint64, MaxShards)); err == nil {
+		t.Fatal("too many bounds accepted")
+	}
+	bounds := []uint64{1000, 2000, 3000}
+	ix, err := NewWithBounds(core.Options{}, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	// Keys deliberately clustered below the first pinned bound: quantile
+	// recomputation would move the boundaries, pinning must not.
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := ix.Bulkload(pairsOf(keys)); err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Bounds()
+	if len(got) != len(bounds) {
+		t.Fatalf("Bounds() len %d, want %d", len(got), len(bounds))
+	}
+	for i := range bounds {
+		if got[i] != bounds[i] {
+			t.Fatalf("bound %d moved: %d != %d", i, got[i], bounds[i])
+		}
+	}
+	if v, ok := ix.Get(499); !ok || v != 499*3 {
+		t.Fatalf("Get(499) = (%d,%v)", v, ok)
+	}
+}
+
+// TestShardBatchAcrossBoundaries checks the counting-sort split: batches
+// spanning every shard, with duplicates (last-writer-wins) and sizes on
+// both sides of the per-key and fan-out thresholds.
+func TestShardBatchAcrossBoundaries(t *testing.T) {
+	keys := sortedKeys(10000, 7)
+	ix := New(core.Options{Shards: 7})
+	defer ix.Close()
+	if err := ix.Bulkload(pairsOf(keys)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, splitMin - 1, splitMin, 100, fanoutMin, fanoutMin + 13} {
+		// Mixed present/absent lookups in random order.
+		q := make([]uint64, n)
+		for i := range q {
+			if rng.Intn(2) == 0 {
+				q[i] = keys[rng.Intn(len(keys))]
+			} else {
+				q[i] = rng.Uint64() | 1<<63
+			}
+		}
+		vals := make([]uint64, n)
+		found := make([]bool, n)
+		ix.GetBatch(q, vals, found)
+		for i, k := range q {
+			wv, wok := ix.Get(k)
+			if found[i] != wok || (wok && vals[i] != wv) {
+				t.Fatalf("n=%d GetBatch[%d] key %d = (%d,%v), want (%d,%v)",
+					n, i, k, vals[i], found[i], wv, wok)
+			}
+		}
+		// Upserts with duplicate keys: the last write must win.
+		pairs := make([]index.KV, n)
+		for i := range pairs {
+			pairs[i] = index.KV{Key: keys[rng.Intn(2000)], Value: uint64(i)}
+		}
+		if err := ix.InsertBatch(pairs); err != nil {
+			t.Fatalf("n=%d InsertBatch: %v", n, err)
+		}
+		want := map[uint64]uint64{}
+		for _, kv := range pairs {
+			want[kv.Key] = kv.Value
+		}
+		for k, v := range want {
+			if got, ok := ix.Get(k); !ok || got != v {
+				t.Fatalf("n=%d after InsertBatch Get(%d) = (%d,%v), want %d", n, k, got, ok, v)
+			}
+		}
+	}
+}
+
+// TestShardClampCounts checks out-of-range shard requests clamp instead of
+// failing.
+func TestShardClampCounts(t *testing.T) {
+	for req, want := range map[int]int{-3: 1, 0: 1, 1: 1, 64: 64, 200: 64} {
+		ix := New(core.Options{Shards: req})
+		if got := ix.Shards(); got != want {
+			t.Fatalf("Shards=%d clamped to %d, want %d", req, got, want)
+		}
+		ix.Close()
+	}
+}

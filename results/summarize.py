@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Summarise results/experiments_raw.txt: per Fig-7 mix, print each
-dataset's ALT throughput, the best baseline, and the ratio — the numbers
-EXPERIMENTS.md quotes. Stdlib only; rerun after regenerating the raw file.
+"""Summarise benchmark artifacts. Stdlib only; rerun after regenerating.
+
+Two input modes, chosen by file extension:
+
+- results/experiments_raw.txt (default): per Fig-7 mix, print each
+  dataset's ALT throughput, the best baseline, and the ratio — the
+  numbers EXPERIMENTS.md quotes.
+- results/BENCH_4.json (any .json): the shard-scaling sweep. Prints, per
+  dataset, a threads x shard-count throughput grid plus the speedup of
+  every shard count over the unsharded (S0) run at the same thread
+  count, and flags the max-thread speedups the acceptance gate reads.
 """
+import json
 import re
 import sys
 from collections import defaultdict
 
 
-def main(path="results/experiments_raw.txt"):
+def summarize_raw(path):
     text = open(path).read()
     sections = re.split(r"\n== ", text)
     for sec in sections:
@@ -31,6 +40,60 @@ def main(path="results/experiments_raw.txt"):
                 continue
             bname, bval = max(base.items(), key=lambda kv: kv[1])
             print(f"  {ds:8s} ALT={alt:5.2f}  best-baseline={bname}={bval:5.2f}  ratio={alt/bval:4.2f}x")
+
+
+def summarize_shards(path):
+    doc = json.load(open(path))
+    # dataset -> threads -> shard count -> mops
+    grid = defaultdict(lambda: defaultdict(dict))
+    for run in doc.get("Runs", []):
+        if run.get("Experiment") != "shard-scaling":
+            continue
+        m = re.match(r"ALT-S(\d+)$", run["Index"])
+        if not m:
+            continue
+        grid[run["Dataset"]][run["Threads"]][int(m.group(1))] = run["Mops"]
+    if not grid:
+        print(f"{path}: no shard-scaling rows found")
+        return
+    for ds in sorted(grid):
+        bythr = grid[ds]
+        counts = sorted({s for thr in bythr.values() for s in thr})
+        print(f"\n== shard scaling: {ds} (Mops, speedup vs unsharded) ==")
+        header = "threads " + "".join(f"{'S'+str(s):>16s}" for s in counts)
+        print(header)
+        for thr in sorted(bythr):
+            base = bythr[thr].get(0, 0.0)
+            cells = []
+            for s in counts:
+                mops = bythr[thr].get(s)
+                if mops is None:
+                    cells.append(f"{'-':>16s}")
+                elif s == 0 or base == 0:
+                    cells.append(f"{mops:10.2f}      ")
+                else:
+                    cells.append(f"{mops:10.2f} {mops/base:4.2f}x")
+            print(f"{thr:<8d}" + "".join(cells))
+        top = max(bythr)
+        base = bythr[top].get(0, 0.0)
+        if base > 0:
+            best_s, best = max(
+                ((s, v) for s, v in bythr[top].items() if s > 0),
+                key=lambda kv: kv[1],
+                default=(None, 0.0),
+            )
+            if best_s is not None:
+                print(
+                    f"  max-thread ({top}) best: S{best_s} at "
+                    f"{best:.2f} Mops = {best/base:.2f}x unsharded"
+                )
+
+
+def main(path="results/experiments_raw.txt"):
+    if path.endswith(".json"):
+        summarize_shards(path)
+    else:
+        summarize_raw(path)
 
 
 if __name__ == "__main__":

@@ -8,20 +8,41 @@ import (
 	"io"
 
 	"altindex/internal/index"
+	"altindex/internal/shard"
 	"altindex/internal/snapio"
 )
 
-// Index snapshot format, little-endian, framed by snapio's CRC32 footer
-// and written via its temp-file + fsync + atomic-rename sequence:
+// Index snapshot formats, little-endian, framed by snapio's CRC32 footer
+// and written via its temp-file + fsync + atomic-rename sequence.
+//
+// v1 — single-instance layout (written whenever the index has no shard
+// boundaries, so unsharded snapshots are byte-identical to earlier
+// releases):
 //
 //	magic "ALTIX001"
+//	u64 pairCount
+//	pairCount × (u64 key, u64 value), ascending by key
+//
+// v2 — sharded layout; identical pair payload with the shard boundaries
+// prepended so Load can reproduce the partitioning exactly:
+//
+//	magic "ALTIX002"
+//	u32 shardCount (2..64)
+//	(shardCount-1) × u64 boundary key, non-decreasing
 //	u64 pairCount
 //	pairCount × (u64 key, u64 value), ascending by key
 //
 // Save requires the index to be quiescent for an exact snapshot (it is a
 // checkpoint operation); Load bulkloads a fresh index from the file.
 
-var indexSnapMagic = [8]byte{'A', 'L', 'T', 'I', 'X', '0', '0', '1'}
+var (
+	indexSnapMagic   = [8]byte{'A', 'L', 'T', 'I', 'X', '0', '0', '1'}
+	indexSnapMagicV2 = [8]byte{'A', 'L', 'T', 'I', 'X', '0', '0', '2'}
+)
+
+// bounded is the surface a sharded index exposes for snapshotting: the
+// boundary keys that define its partitioning.
+type bounded interface{ Bounds() []uint64 }
 
 // ErrBadSnapshot reports a corrupt, truncated or incompatible index
 // snapshot file. Save's atomic write sequence guarantees a crash mid-save
@@ -31,10 +52,16 @@ var ErrBadSnapshot = errors.New("altindex: bad snapshot")
 
 // Save writes a point-in-time snapshot of idx to path, atomically: the
 // previous snapshot at path survives any failure or crash mid-save.
-func Save(idx *Index, path string) error {
+// Sharded indexes persist their boundary keys (format v2); everything else
+// writes the original v1 format byte-for-byte.
+func Save(idx Index, path string) error {
+	var bounds []uint64
+	if b, ok := idx.(bounded); ok {
+		bounds = b.Bounds()
+	}
 	return snapio.WriteFile(path, func(w io.Writer) error {
 		count := uint64(idx.Len())
-		if err := writeIndexHeader(w, count); err != nil {
+		if err := writeIndexHeader(w, bounds, count); err != nil {
 			return err
 		}
 		var werr error
@@ -70,8 +97,20 @@ func Save(idx *Index, path string) error {
 	})
 }
 
-func writeIndexHeader(w io.Writer, count uint64) error {
-	if _, err := w.Write(indexSnapMagic[:]); err != nil {
+func writeIndexHeader(w io.Writer, bounds []uint64, count uint64) error {
+	if len(bounds) == 0 {
+		if _, err := w.Write(indexSnapMagic[:]); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, count)
+	}
+	if _, err := w.Write(indexSnapMagicV2[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(bounds)+1)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, bounds); err != nil {
 		return err
 	}
 	return binary.Write(w, binary.LittleEndian, count)
@@ -79,7 +118,15 @@ func writeIndexHeader(w io.Writer, count uint64) error {
 
 // Load reads a snapshot written by Save into a fresh index built with
 // opts. Corrupt or truncated files return an error wrapping ErrBadSnapshot.
-func Load(path string, opts Options) (*Index, error) {
+//
+// The requested layout (opts.Shards) controls the result, not the stored
+// one: a sharded (v2) snapshot whose shard count matches opts.Shards is
+// restored with its exact saved boundaries, while any other combination —
+// sharded file into unsharded config, different shard count, unsharded
+// file into sharded config — remaps by bulkloading the pairs into a fresh
+// index built from opts. Data always round-trips; only the partitioning is
+// recomputed when the layouts disagree.
+func Load(path string, opts Options) (Index, error) {
 	payload, err := snapio.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, snapio.ErrCorrupt) {
@@ -92,7 +139,27 @@ func Load(path string, opts Options) (*Index, error) {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: missing header", ErrBadSnapshot)
 	}
-	if magic != indexSnapMagic {
+	var bounds []uint64
+	switch magic {
+	case indexSnapMagic:
+	case indexSnapMagicV2:
+		var shards uint32
+		if err := binary.Read(r, binary.LittleEndian, &shards); err != nil {
+			return nil, fmt.Errorf("%w: missing shard count", ErrBadSnapshot)
+		}
+		if shards < 2 || shards > shard.MaxShards {
+			return nil, fmt.Errorf("%w: shard count %d out of range", ErrBadSnapshot, shards)
+		}
+		bounds = make([]uint64, shards-1)
+		if err := binary.Read(r, binary.LittleEndian, bounds); err != nil {
+			return nil, fmt.Errorf("%w: truncated shard boundaries", ErrBadSnapshot)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				return nil, fmt.Errorf("%w: shard boundaries decrease", ErrBadSnapshot)
+			}
+		}
+	default:
 		return nil, fmt.Errorf("%w: magic mismatch", ErrBadSnapshot)
 	}
 	var count uint64
@@ -117,7 +184,18 @@ func Load(path string, opts Options) (*Index, error) {
 		prev = k
 		pairs[i] = index.KV{Key: k, Value: binary.LittleEndian.Uint64(kv[8:])}
 	}
-	idx := New(opts)
+	var idx Index
+	if len(bounds) > 0 && opts.Shards == len(bounds)+1 {
+		// Same sharded layout as saved: pin the stored boundaries so the
+		// restored partitioning is exact, not a recomputed approximation.
+		sh, err := shard.NewWithBounds(opts, bounds)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		idx = sh
+	} else {
+		idx = New(opts)
+	}
 	if err := idx.Bulkload(pairs); err != nil {
 		return nil, err
 	}

@@ -1,12 +1,15 @@
 package altindex
 
 import (
+	"encoding/binary"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"altindex/internal/failpoint"
+	"altindex/internal/snapio"
 )
 
 func TestIndexSnapshotRoundTrip(t *testing.T) {
@@ -44,6 +47,150 @@ func TestIndexSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("inserted key %d = (%d,%v)", k*9, v, ok)
 		}
 	}
+}
+
+// TestSnapshotShardRoundTrip covers the sharded (v2) snapshot format:
+// saving a sharded index, restoring it into the same sharded layout with
+// the exact stored boundaries, and loading it into layouts that disagree
+// with the file — unsharded and differently-sharded configs — which must
+// remap the data cleanly rather than fail or corrupt.
+func TestSnapshotShardRoundTrip(t *testing.T) {
+	idx := New(Options{Shards: 4})
+	defer idx.Close()
+	var pairs []KV
+	for k := uint64(1); k <= 20000; k++ {
+		pairs = append(pairs, KV{Key: k * 7, Value: k * 11})
+	}
+	if err := idx.Bulkload(pairs); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(30000); k < 30500; k++ {
+		if err := idx.Insert(k*9, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx.Quiesce()
+	wantBounds := idx.(interface{ Bounds() []uint64 }).Bounds()
+	path := filepath.Join(t.TempDir(), "sharded.snap")
+	if err := Save(idx, path); err != nil {
+		t.Fatal(err)
+	}
+
+	verify := func(t *testing.T, loaded Index) {
+		t.Helper()
+		if loaded.Len() != idx.Len() {
+			t.Fatalf("Len = %d, want %d", loaded.Len(), idx.Len())
+		}
+		for i := 0; i < len(pairs); i += 97 {
+			kv := pairs[i]
+			if v, ok := loaded.Get(kv.Key); !ok || v != kv.Value {
+				t.Fatalf("Get(%d) = (%d,%v)", kv.Key, v, ok)
+			}
+		}
+		for k := uint64(30000); k < 30500; k++ {
+			if v, ok := loaded.Get(k * 9); !ok || v != k {
+				t.Fatalf("inserted key %d = (%d,%v)", k*9, v, ok)
+			}
+		}
+		// Scans must stitch identically regardless of layout.
+		n := 0
+		var prev uint64
+		loaded.Scan(0, idx.Len()+1, func(k, v uint64) bool {
+			if n > 0 && k <= prev {
+				t.Fatalf("scan order violation: %d after %d", k, prev)
+			}
+			prev = k
+			n++
+			return true
+		})
+		if n != idx.Len() {
+			t.Fatalf("scan visited %d keys, want %d", n, idx.Len())
+		}
+	}
+
+	t.Run("same-layout", func(t *testing.T) {
+		loaded, err := Load(path, Options{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loaded.Close()
+		gotBounds := loaded.(interface{ Bounds() []uint64 }).Bounds()
+		if len(gotBounds) != len(wantBounds) {
+			t.Fatalf("restored %d bounds, want %d", len(gotBounds), len(wantBounds))
+		}
+		for i := range wantBounds {
+			if gotBounds[i] != wantBounds[i] {
+				t.Fatalf("bound %d = %d, want %d (layout not reproduced)", i, gotBounds[i], wantBounds[i])
+			}
+		}
+		verify(t, loaded)
+	})
+	t.Run("into-unsharded", func(t *testing.T) {
+		loaded, err := Load(path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loaded.Close()
+		if _, ok := loaded.(interface{ Bounds() []uint64 }); ok {
+			t.Fatal("unsharded config produced a sharded index")
+		}
+		verify(t, loaded)
+	})
+	t.Run("into-different-count", func(t *testing.T) {
+		loaded, err := Load(path, Options{Shards: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loaded.Close()
+		if got := loaded.StatsMap()["shards"]; got != 7 {
+			t.Fatalf("shards = %d, want 7 (remap must honor the requested layout)", got)
+		}
+		verify(t, loaded)
+	})
+	t.Run("unsharded-file-into-sharded", func(t *testing.T) {
+		flat := NewDefault()
+		defer flat.Close()
+		if err := flat.Bulkload(pairs); err != nil {
+			t.Fatal(err)
+		}
+		p2 := filepath.Join(t.TempDir(), "flat.snap")
+		if err := Save(flat, p2); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(p2, Options{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loaded.Close()
+		if got := loaded.StatsMap()["shards"]; got != 4 {
+			t.Fatalf("shards = %d, want 4", got)
+		}
+		if loaded.Len() != len(pairs) {
+			t.Fatalf("Len = %d, want %d", loaded.Len(), len(pairs))
+		}
+	})
+	t.Run("corrupt-bounds-rejected", func(t *testing.T) {
+		// A well-framed (valid CRC) v2 file whose boundaries decrease must
+		// be rejected by the semantic validation, not just the checksum.
+		p3 := filepath.Join(t.TempDir(), "badbounds.snap")
+		err := snapio.WriteFile(p3, func(w io.Writer) error {
+			if _, err := w.Write([]byte("ALTIX002")); err != nil {
+				return err
+			}
+			for _, v := range []any{uint32(4), []uint64{30, 20, 10}, uint64(0)} {
+				if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p3, Options{Shards: 4}); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("decreasing bounds: %v, want ErrBadSnapshot", err)
+		}
+	})
 }
 
 func TestIndexSnapshotEmpty(t *testing.T) {
