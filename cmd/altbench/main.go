@@ -34,6 +34,7 @@ func main() {
 		keys    = flag.Int("keys", 2_000_000, "dataset size")
 		threads = flag.Int("threads", 0, "worker goroutines (default min(GOMAXPROCS,32))")
 		ops     = flag.Int("ops", 1_000_000, "operations per run")
+		dur     = flag.Duration("duration", 0, "time-bound each run instead of -ops (e.g. 2s); achieved ops are reported")
 		seed    = flag.Uint64("seed", 1, "dataset/workload seed")
 		batch   = flag.String("batch", "", "comma-separated batch sizes for the 'batch' experiment (default 1,8,64,256)")
 		shards  = flag.Int("shards", 0, "extra shard count for the 'shard-scaling' sweep (0 = default sweep)")
@@ -88,7 +89,7 @@ func main() {
 	}
 
 	p := bench.Params{Keys: *keys, Threads: *threads, Ops: *ops, Seed: *seed,
-		BatchSizes: batchSizes, Shards: *shards, Out: os.Stdout}
+		BatchSizes: batchSizes, Shards: *shards, Duration: *dur, Out: os.Stdout}
 	ids := expand(*exp)
 	if len(ids) == 0 {
 		fmt.Fprintf(os.Stderr, "altbench: unknown experiment %q (try -list)\n", *exp)

@@ -10,6 +10,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"altindex/internal/dataset"
@@ -36,6 +37,12 @@ type Config struct {
 	// GetBatch/InsertBatch calls of at most this size. 0 or 1 selects the
 	// per-key path. Latency samples then cover a whole batch.
 	BatchSize int
+	// Duration, when positive, makes the run time-bounded: every thread
+	// executes operations until the wall-clock budget expires and Ops is
+	// ignored as a stop condition. Result.Ops then reports the achieved
+	// operation count, so throughput stays comparable across host speeds
+	// (a slow machine runs fewer ops instead of taking longer).
+	Duration time.Duration
 	// LoopBatch forces the generic per-key loop fallback
 	// (index.LoopBatcher) even when the index natively implements
 	// index.Batcher — the comparison baseline for native batch paths.
@@ -131,8 +138,15 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 	// Distribute cfg.Ops across threads with the remainder spread over the
 	// first Ops%Threads of them, so every configured operation runs even
 	// when Ops is not a multiple of Threads — in particular Ops < Threads
-	// must not silently run zero operations.
+	// must not silently run zero operations. Time-bounded runs instead give
+	// every thread an unbounded op budget and a shared wall-clock deadline.
 	base, rem := cfg.Ops/cfg.Threads, cfg.Ops%cfg.Threads
+	if cfg.Duration > 0 {
+		// -1 marks an unbounded per-thread budget (the deadline is the only
+		// stop condition); 0 must keep meaning "no ops for this thread".
+		base, rem = -1, 0
+	}
+	var achieved atomic.Int64
 	var hist histogram.Histogram
 	var wg sync.WaitGroup
 	start := make(chan struct{})
@@ -146,17 +160,26 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 			defer wg.Done()
 			s := w.Stream(tid)
 			<-start
-			if cfg.BatchSize > 1 {
-				runThreadBatched(ix, s, ops, cfg.BatchSize, cfg.LoopBatch, cfg.SampleEvery, &hist)
-			} else {
-				runThread(ix, s, ops, cfg.SampleEvery, &hist)
+			// The deadline starts at the release of the start gate, so the
+			// budget covers measured work only, not goroutine spawn.
+			var dl time.Time
+			if cfg.Duration > 0 {
+				dl = time.Now().Add(cfg.Duration)
 			}
+			var n int
+			if cfg.BatchSize > 1 {
+				n = runThreadBatched(ix, s, ops, cfg.BatchSize, cfg.LoopBatch, cfg.SampleEvery, &hist, dl)
+			} else {
+				n = runThread(ix, s, ops, cfg.SampleEvery, &hist, dl)
+			}
+			achieved.Add(int64(n))
 		}(tid, ops)
 	}
 	t0 := time.Now()
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	doneOps := int(achieved.Load())
 	// Drain any asynchronous maintenance (background retraining) so the
 	// memory/stats snapshot below is settled. Deliberately outside the
 	// timed window: writers never wait for it, that is the design.
@@ -169,9 +192,9 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 		Dataset:   cfg.Dataset,
 		Mix:       cfg.Mix.Name,
 		Threads:   cfg.Threads,
-		Ops:       cfg.Ops,
+		Ops:       doneOps,
 		Elapsed:   elapsed,
-		Mops:      float64(cfg.Ops) / elapsed.Seconds() / 1e6,
+		Mops:      float64(doneOps) / elapsed.Seconds() / 1e6,
 		Mean:      hist.Mean(),
 		P50:       hist.Quantile(0.50),
 		P99:       hist.Quantile(0.99),
@@ -186,9 +209,19 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 	return res
 }
 
-func runThread(ix index.Concurrent, s *workload.Stream, ops, sampleEvery int, hist *histogram.Histogram) {
-	for i := 0; i < ops; i++ {
+// runThread executes up to ops operations (unbounded when ops < 0; zero
+// means zero) and returns the number actually executed. A non-zero
+// deadline dl stops the loop once the wall clock passes it; the check
+// runs every 64 ops so the common fixed-ops path pays nothing
+// measurable for it.
+func runThread(ix index.Concurrent, s *workload.Stream, ops, sampleEvery int, hist *histogram.Histogram, dl time.Time) int {
+	done := 0
+	for i := 0; ops < 0 || i < ops; i++ {
+		if !dl.IsZero() && i&63 == 0 && time.Now().After(dl) {
+			break
+		}
 		op := s.Next()
+		done++
 		sampled := i%sampleEvery == 0
 		var t0 time.Time
 		if sampled {
@@ -210,13 +243,15 @@ func runThread(ix index.Concurrent, s *workload.Stream, ops, sampleEvery int, hi
 			hist.Record(time.Since(t0))
 		}
 	}
+	return done
 }
 
 // runThreadBatched drives the stream through the batched API: consecutive
 // Get ops accumulate into a GetBatch, consecutive Inserts into an
 // InsertBatch, flushed when the kind changes or the batch fills. Other op
 // kinds run per-key. Each latency sample covers one whole flushed batch.
-func runThreadBatched(ix index.Concurrent, s *workload.Stream, ops, batchSize int, loopBatch bool, sampleEvery int, hist *histogram.Histogram) {
+// Like runThread it returns the executed op count, honoring the deadline.
+func runThreadBatched(ix index.Concurrent, s *workload.Stream, ops, batchSize int, loopBatch bool, sampleEvery int, hist *histogram.Histogram, dl time.Time) int {
 	bt := index.BatchOf(ix)
 	if loopBatch {
 		bt = index.LoopBatcher(ix)
@@ -248,8 +283,13 @@ func runThreadBatched(ix index.Concurrent, s *workload.Stream, ops, batchSize in
 			hist.Record(time.Since(t0))
 		}
 	}
-	for i := 0; i < ops; i++ {
+	done := 0
+	for i := 0; ops < 0 || i < ops; i++ {
+		if !dl.IsZero() && i&63 == 0 && time.Now().After(dl) {
+			break
+		}
 		op := s.Next()
+		done++
 		switch op.Kind {
 		case workload.Get:
 			if len(pairs) > 0 || len(getKeys) == batchSize {
@@ -274,6 +314,7 @@ func runThreadBatched(ix index.Concurrent, s *workload.Stream, ops, batchSize in
 		}
 	}
 	flush()
+	return done
 }
 
 func closeIfCloser(ix index.Concurrent) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"altindex/internal/core"
 	"altindex/internal/dataset"
@@ -67,6 +68,35 @@ func TestRunOpDistribution(t *testing.T) {
 		}
 		if r.Mops <= 0 {
 			t.Fatalf("ops=%d threads=%d: Mops = %v", tc.ops, tc.threads, r.Mops)
+		}
+	}
+}
+
+// TestRunDurationMode checks the time-bounded mode: the run must stop
+// near the wall-clock budget regardless of Ops, and Result.Ops must
+// report what was achieved, not the configured count.
+func TestRunDurationMode(t *testing.T) {
+	for _, batch := range []int{0, 8} {
+		t0 := time.Now()
+		r := Run(ALT().New, Config{Dataset: dataset.Libio, Keys: 10000,
+			Mix: workload.ReadOnly, Threads: 2, Ops: 1, Seed: 4,
+			Duration: 50 * time.Millisecond, BatchSize: batch})
+		elapsed := time.Since(t0)
+		// Ops:1 would finish instantly; a duration run must keep going for
+		// the budget and do far more than one op on a 10k-key read loop.
+		if r.Ops <= 2 {
+			t.Fatalf("batch=%d: achieved only %d ops in duration mode", batch, r.Ops)
+		}
+		if r.Elapsed < 40*time.Millisecond {
+			t.Fatalf("batch=%d: run lasted %v, budget 50ms", batch, r.Elapsed)
+		}
+		// Generous upper bound: the deadline check runs every 64 ops, so
+		// overshoot is bounded by 64 ops of work, not seconds.
+		if elapsed > 5*time.Second {
+			t.Fatalf("batch=%d: duration mode ran %v", batch, elapsed)
+		}
+		if r.Mops <= 0 {
+			t.Fatalf("batch=%d: Mops = %v", batch, r.Mops)
 		}
 	}
 }

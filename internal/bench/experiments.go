@@ -32,6 +32,11 @@ type Params struct {
 	// Shards extends the shard-scaling experiment's shard-count sweep with
 	// this value when it is not already covered (cmd/altbench -shards).
 	Shards int
+	// Duration, when positive, makes every table row time-bounded (see
+	// Config.Duration): each run executes until the wall-clock budget
+	// expires instead of a fixed op count, and reports the ops it achieved.
+	// This keeps rows comparable across host speeds (cmd/altbench -duration).
+	Duration time.Duration
 }
 
 func (p Params) record(r Result) {
@@ -94,6 +99,7 @@ func Experiments() []Experiment {
 		{"fig10c", "Fig 10(c): data split between layers", Fig10c},
 		{"fig10d", "Fig 10(d): bulkload time ALT vs ALEX+ vs LIPP+", Fig10d},
 		{"batch", "Batched throughput: model-grouped batch path vs per-key loop, all indexes", BatchSweep},
+		{"cacheline", "Cacheline: single-thread probe cost of the block layout (B=1, B=64, absent-key misses)", Cacheline},
 		{"retrain-tail", "Retrain tail: hot-write writer latency, async vs inline retraining", RetrainTail},
 		{"shard-scaling", "Shard scaling: CDF-partitioned front-end vs unsharded, threads x shards x datasets", ShardScaling},
 		{"ablation-retrain", "Ablation: ALT hot-write with retraining on/off", AblationRetrain},
@@ -129,6 +135,9 @@ func header(p Params, title string) {
 }
 
 func runRow(p Params, tw *tabwriter.Writer, f NamedFactory, cfg Config) Result {
+	if cfg.Duration == 0 {
+		cfg.Duration = p.Duration
+	}
 	r := Run(f.New, cfg)
 	r.Index = f.Name // variant factories share an engine Name; keep the row label
 	p.record(r)
@@ -576,6 +585,110 @@ func BatchSweep(p Params) {
 			}
 		}
 		tw.Flush()
+	}
+}
+
+// Cacheline is the memory-layout proof: single-thread point-probe cost
+// across fit-easy (libio) and fit-hard (osm, longlat) datasets, where the
+// dominant cost is cache lines touched per probe, not model arithmetic.
+// Three rows per dataset:
+//
+//   - ALT-B1: per-key Get, zipfian read-only, one thread — the layout's
+//     raw line count per probe (key+meta in one block, value line on hit).
+//   - ALT-B64: GetBatch with B=64 — adds the post-router block prefetch,
+//     which only pays off when there is independent work to overlap.
+//   - ALT-miss: hand-rolled probes of provably-absent keys (midpoints
+//     between consecutive loaded keys, full dataset loaded) in pseudorandom
+//     order — the path the overflow fingerprint sidecar shortcuts: a
+//     conflict slot whose ART probe would miss.
+//
+// Single-threaded on purpose: ns/op here is a cache-line proxy that
+// multi-thread scheduling noise would bury.
+func Cacheline(p Params) {
+	p = p.withDefaults()
+	header(p, "Cacheline: single-thread point-probe cost (ns/op is the layout proxy)")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Row\tDataset\tMops\tns/op\tP50us\tP99us")
+	emit := func(r Result) {
+		p.record(r)
+		nsop := 0.0
+		if r.Ops > 0 {
+			nsop = float64(r.Elapsed.Nanoseconds()) / float64(r.Ops)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.1f\t%s\t%s\n",
+			r.Index, r.Dataset, r.Mops, nsop, us(r.P50), us(r.P99))
+	}
+	for _, ds := range []dataset.Name{dataset.Libio, dataset.OSM, dataset.LongLat} {
+		for _, row := range []struct {
+			name  string
+			batch int
+		}{{"ALT-B1", 1}, {"ALT-B64", 64}} {
+			r := Run(ALTWith(row.name, core.Options{}).New, Config{
+				Dataset: ds, Keys: p.Keys, Mix: workload.ReadOnly,
+				Threads: 1, Ops: p.Ops, Seed: p.Seed,
+				BatchSize: row.batch, Duration: p.Duration})
+			r.Index = row.name
+			emit(r)
+		}
+		emit(cachelineMiss(p, ds))
+	}
+	tw.Flush()
+}
+
+// cachelineMiss times lookups of keys that are provably absent: the full
+// dataset is bulkloaded, so any strict midpoint between two consecutive
+// loaded keys cannot be present. Probing them in pseudorandom order makes
+// every probe a cold predicted slot plus — without the sidecar — a full
+// ART traversal ending in a miss.
+func cachelineMiss(p Params, ds dataset.Name) Result {
+	keys := dataset.Generate(ds, p.Keys, p.Seed)
+	alt := core.New(core.Options{})
+	if err := alt.Bulkload(dataset.Pairs(keys)); err != nil {
+		panic(fmt.Sprintf("bench: cacheline bulkload: %v", err))
+	}
+	defer alt.Close()
+	probes := make([]uint64, 0, len(keys)-1)
+	for i := 0; i+1 < len(keys); i++ {
+		if keys[i+1]-keys[i] > 1 {
+			probes = append(probes, keys[i]+(keys[i+1]-keys[i])/2)
+		}
+	}
+	// Fisher-Yates with a seeded xorshift so the probe order is
+	// pseudorandom but reproducible.
+	x := p.Seed*0x9E3779B97F4A7C15 + 1
+	for i := len(probes) - 1; i > 0; i-- {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		j := int(x % uint64(i+1))
+		probes[i], probes[j] = probes[j], probes[i]
+	}
+	var dl time.Time
+	if p.Duration > 0 {
+		dl = time.Now().Add(p.Duration)
+	}
+	done := 0
+	t0 := time.Now()
+	for i := 0; p.Duration > 0 || i < p.Ops; i++ {
+		if !dl.IsZero() && i&63 == 0 && time.Now().After(dl) {
+			break
+		}
+		if _, ok := alt.Get(probes[i%len(probes)]); ok {
+			panic("bench: cacheline miss probe found an absent key")
+		}
+		done++
+	}
+	elapsed := time.Since(t0)
+	return Result{
+		Index:   "ALT-miss",
+		Dataset: ds,
+		Mix:     "absent",
+		Threads: 1,
+		Ops:     done,
+		Elapsed: elapsed,
+		Mops:    float64(done) / elapsed.Seconds() / 1e6,
+		Mem:     alt.MemoryUsage(),
+		Len:     alt.Len(),
 	}
 }
 

@@ -405,16 +405,25 @@ func (t *ALT) Get(key uint64) (uint64, bool) {
 			if k == key {
 				return v, true
 			}
+			// Conflict slot: before paying the ART traversal, ask the
+			// fingerprint sidecar whether the key can be there at all —
+			// the common "absent on a fit-hard dataset" case ends here.
+			if m.absentInART(key, s) {
+				return 0, false
+			}
 			val, found, _ := t.tree.GetFrom(t.fpNode(m), key)
 			if found {
 				return val, true
 			}
-			if m.meta[s].Load() != meta {
+			if m.metaRef(s).Load() != meta {
 				bo.wait()
 				continue // concurrent migration; retry
 			}
 			return 0, false
 		default: // tombstone: the key may live in ART
+			if m.absentInART(key, s) {
+				return 0, false
+			}
 			val, found, _ := t.tree.GetFrom(t.fpNode(m), key)
 			if found {
 				if !t.opts.DisableWriteBack {
@@ -422,7 +431,7 @@ func (t *ALT) Get(key uint64) (uint64, bool) {
 				}
 				return val, true
 			}
-			if m.meta[s].Load() != meta {
+			if m.metaRef(s).Load() != meta {
 				bo.wait()
 				continue
 			}
@@ -435,7 +444,7 @@ func (t *ALT) Get(key uint64) (uint64, bool) {
 // (Algorithm 2 lines 10-13). The slot lock is held across the ART removal
 // so concurrent operations on the same key serialize behind the slot.
 func (t *ALT) writeBack(m *model, s int, key, val uint64) {
-	meta := m.meta[s].Load()
+	meta := m.metaRef(s).Load()
 	if meta&(slotLockBit|slotOccupied) != 0 {
 		return // someone claimed the slot; keep the ART copy
 	}
@@ -444,8 +453,8 @@ func (t *ALT) writeBack(m *model, s int, key, val uint64) {
 	}
 	fpWriteBack.Inject()
 	if t.tree.Remove(key) {
-		m.keys[s].Store(key)
-		m.vals[s].Store(val)
+		m.keyRef(s).Store(key)
+		m.valRef(s).Store(val)
 		m.release(s, meta, slotOccupied)
 	} else {
 		// A racing remove took the key; restore the slot state.
@@ -487,15 +496,15 @@ func (t *ALT) Insert(key, value uint64) error {
 // exactly the same slot protocol.
 func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 	s := m.slotOf(key)
-	meta := m.meta[s].Load()
+	meta := m.metaRef(s).Load()
 	if meta&slotLockBit != 0 {
 		return false
 	}
 	st := meta & (slotOccupied | slotTomb)
 	switch {
 	case st&slotOccupied != 0:
-		k := m.keys[s].Load()
-		if m.meta[s].Load() != meta {
+		k := m.keyRef(s).Load()
+		if m.metaRef(s).Load() != meta {
 			return false
 		}
 		if k == key {
@@ -503,7 +512,7 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 				return false
 			}
 			fpInsertLocked.Inject()
-			m.vals[s].Store(value)
+			m.valRef(s).Store(value)
 			m.release(s, meta, slotOccupied)
 			return true
 		}
@@ -517,6 +526,10 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 			return false
 		}
 		fpInsertLocked.Inject()
+		// The epoch bump must precede the tree insert (both under the
+		// slot lock) so no reader can trust the sidecar after the key
+		// becomes ART-resident; see the invalidation notes in sidecar.go.
+		m.artEpoch.Add(1)
 		added := t.tree.PutFrom(t.fpNode(m), key, value)
 		m.release(s, meta, slotOccupied)
 		if added {
@@ -536,8 +549,8 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 			return false
 		}
 		fpInsertLocked.Inject()
-		m.keys[s].Store(key)
-		m.vals[s].Store(value)
+		m.keyRef(s).Store(key)
+		m.valRef(s).Store(value)
 		m.release(s, meta, slotOccupied)
 		m.inserts.Add(1)
 		t.size.Add(1)
@@ -548,10 +561,16 @@ func (t *ALT) insertAt(tab *table, m *model, pos int, key, value uint64) bool {
 		}
 		fpInsertLocked.Inject()
 		// The ART removal runs under the slot lock so the key never
-		// exists in both layers and the size stays exact.
-		shadowed := t.tree.Remove(key)
-		m.keys[s].Store(key)
-		m.vals[s].Store(value)
+		// exists in both layers and the size stays exact. The sidecar can
+		// prove there is no shadowed copy to clear: an eviction of this
+		// same key would need the slot lock we hold, so the check cannot
+		// race with the copy it is ruling out.
+		shadowed := false
+		if !m.absentInART(key, s) {
+			shadowed = t.tree.Remove(key)
+		}
+		m.keyRef(s).Store(key)
+		m.valRef(s).Store(value)
 		m.release(s, meta, slotOccupied)
 		if !shadowed {
 			t.size.Add(1) // fresh key, not an upsert of an ART copy
@@ -578,7 +597,7 @@ func (t *ALT) Update(key, value uint64) bool {
 		}
 		m, _ := tab.find(key)
 		s := m.slotOf(key)
-		meta := m.meta[s].Load()
+		meta := m.metaRef(s).Load()
 		if meta&slotLockBit != 0 {
 			bo.wait()
 			continue
@@ -588,8 +607,8 @@ func (t *ALT) Update(key, value uint64) bool {
 		case st == 0:
 			return false
 		case st&slotOccupied != 0:
-			k := m.keys[s].Load()
-			if m.meta[s].Load() != meta {
+			k := m.keyRef(s).Load()
+			if m.metaRef(s).Load() != meta {
 				bo.wait()
 				continue
 			}
@@ -598,9 +617,12 @@ func (t *ALT) Update(key, value uint64) bool {
 					bo.wait()
 					continue
 				}
-				m.vals[s].Store(value)
+				m.valRef(s).Store(value)
 				m.release(s, meta, slotOccupied)
 				return true
+			}
+			if m.absentInART(key, s) {
+				return false // sidecar proves no ART copy to update
 			}
 			// ART-resident target: run the tree update under the slot
 			// lock so it cannot interleave with a retraining migration.
@@ -612,6 +634,9 @@ func (t *ALT) Update(key, value uint64) bool {
 			m.release(s, meta, st)
 			return found
 		default:
+			if m.absentInART(key, s) {
+				return false
+			}
 			if !m.acquire(s, meta) {
 				bo.wait()
 				continue
@@ -646,7 +671,7 @@ func (t *ALT) Remove(key uint64) bool {
 		}
 		m, _ := tab.find(key)
 		s := m.slotOf(key)
-		meta := m.meta[s].Load()
+		meta := m.metaRef(s).Load()
 		if meta&slotLockBit != 0 {
 			bo.wait()
 			continue
@@ -656,8 +681,8 @@ func (t *ALT) Remove(key uint64) bool {
 		case st == 0:
 			return false
 		case st&slotOccupied != 0:
-			k := m.keys[s].Load()
-			if m.meta[s].Load() != meta {
+			k := m.keyRef(s).Load()
+			if m.metaRef(s).Load() != meta {
 				bo.wait()
 				continue
 			}
@@ -669,6 +694,9 @@ func (t *ALT) Remove(key uint64) bool {
 				m.release(s, meta, slotTomb)
 				t.size.Add(-1)
 				return true
+			}
+			if m.absentInART(key, s) {
+				return false // sidecar proves no ART copy to remove
 			}
 			// ART-resident target: remove under the slot lock so the
 			// removal cannot interleave with a retraining migration.
@@ -683,6 +711,9 @@ func (t *ALT) Remove(key uint64) bool {
 			}
 			return removed
 		default:
+			if m.absentInART(key, s) {
+				return false
+			}
 			if !m.acquire(s, meta) {
 				bo.wait()
 				continue

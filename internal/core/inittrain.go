@@ -60,9 +60,14 @@ func (t *ALT) trainInitial() {
 		t.eps = eps
 	}
 	boot := emptyModel(k0)
-	boot.keys[0].Store(k0)
-	boot.vals[0].Store(v0)
-	boot.meta[0].Store(slotOccupied)
+	boot.keyRef(0).Store(k0)
+	boot.valRef(0).Store(v0)
+	boot.metaRef(0).Store(slotOccupied)
+	// The bootstrap model has no sidecar yet every pre-table key except k0
+	// is ART-resident; stamp the epoch so absentInART can never prove
+	// absence against it. The immediate rebuild below replaces it with
+	// properly-built models (and fresh sidecars).
+	boot.artEpoch.Store(1)
 	newTab := &table{firsts: []uint64{k0}, models: []*model{boot}}
 	// The swap must not interleave with a pre-table tree mutation whose
 	// key could otherwise end up unreachable behind fresh empty slots.

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"altindex/internal/gpl"
 )
@@ -18,6 +19,30 @@ const (
 	slotVerShift = 3
 )
 
+// Slots are stored in interleaved blocks of blockSlots: slot s lives in
+// blocks[s>>blockShift], lane s&blockMask.
+const (
+	blockShift = 3
+	blockSlots = 1 << blockShift
+	blockMask  = blockSlots - 1
+)
+
+// slotBlock interleaves eight consecutive slots' keys, metadata and values
+// in one 160-byte struct: [8×key][8×meta][8×val]. A point probe's key and
+// metadata lines are adjacent (bytes 0-63 and 64-95) instead of living in
+// three arrays tens of megabytes apart, so resolving key+occupancy touches
+// one or two neighbouring cache lines and the value line only on a hit —
+// and the whole block is one prefetch target. Per-slot cost is the same
+// 20 bytes the split arrays paid; only adjacency changed. The meta word's
+// bit layout and the seqlock ordering around it are untouched: read/
+// acquire/release below issue the identical atomic sequence, just through
+// a different address computation.
+type slotBlock struct {
+	keys [blockSlots]atomic.Uint64
+	meta [blockSlots]atomic.Uint32
+	vals [blockSlots]atomic.Uint64
+}
+
 // model is one GPL model: a gapped slot array addressed by a linear
 // prediction with no in-layer prediction error — a key is either at its
 // predicted slot or in the ART-OPT layer.
@@ -26,9 +51,20 @@ type model struct {
 	slope  float64 // positions per key unit, including the gap factor
 	nslots int
 
-	keys []atomic.Uint64
-	vals []atomic.Uint64
-	meta []atomic.Uint32
+	// blocks is the interleaved slot storage; see slotBlock. Trailing
+	// lanes past nslots-1 in the last block stay permanently empty.
+	blocks []slotBlock
+
+	// sc is the overflow fingerprint sidecar built from this model's
+	// build-time conflict evictions; nil when the build had none.
+	// Immutable after the model is published — runtime ART inserts
+	// invalidate it through artEpoch instead (see sidecar.go).
+	sc *sidecar
+
+	// artEpoch counts runtime conflict evictions into ART under this
+	// model. The sidecar is only trusted while artEpoch still equals the
+	// value it was built against (zero), so one bump invalidates it.
+	artEpoch atomic.Uint64
 
 	// fastIdx is this model's entry in the fast pointer buffer, or -1.
 	fastIdx atomic.Int32
@@ -41,6 +77,33 @@ type model struct {
 	// threshold-crossing writer (who enqueues the model), cleared when the
 	// rebuild finishes or the trigger is dropped on queue overflow.
 	retrainArmed atomic.Bool
+}
+
+// allocBlocks returns zeroed interleaved storage for nslots slots.
+func allocBlocks(nslots int) []slotBlock {
+	return make([]slotBlock, (nslots+blockMask)>>blockShift)
+}
+
+// metaRef, keyRef and valRef resolve a slot's atomic words inside its
+// block. Simple enough to inline, so the hot paths pay only the index
+// arithmetic.
+func (m *model) metaRef(s int) *atomic.Uint32 {
+	return &m.blocks[s>>blockShift].meta[s&blockMask]
+}
+
+func (m *model) keyRef(s int) *atomic.Uint64 {
+	return &m.blocks[s>>blockShift].keys[s&blockMask]
+}
+
+func (m *model) valRef(s int) *atomic.Uint64 {
+	return &m.blocks[s>>blockShift].vals[s&blockMask]
+}
+
+// prefetch issues a best-effort prefetch of the block holding slot s, so
+// a batch loop can start the slot's lines toward L1 while it routes the
+// rest of the chunk. No-op on architectures without the instruction.
+func (m *model) prefetch(s int) {
+	prefetcht0(unsafe.Pointer(&m.blocks[s>>blockShift]))
 }
 
 // buildModel lays seg's keys out in a gapped array scaled by gapFactor.
@@ -62,22 +125,29 @@ func buildModel(keys, vals []uint64, seg gpl.Segment, gapFactor float64) (*model
 	if m.nslots < seg.N {
 		m.nslots = seg.N
 	}
-	m.keys = make([]atomic.Uint64, m.nslots)
-	m.vals = make([]atomic.Uint64, m.nslots)
-	m.meta = make([]atomic.Uint32, m.nslots)
+	m.blocks = allocBlocks(m.nslots)
 
 	var conflicts []int
 	for i := 0; i < seg.N; i++ {
 		s := m.slotOf(keys[i])
-		if m.meta[s].Load()&slotOccupied != 0 {
+		if m.metaRef(s).Load()&slotOccupied != 0 {
 			conflicts = append(conflicts, i)
 			continue
 		}
-		m.keys[s].Store(keys[i])
-		m.vals[s].Store(vals[i])
-		m.meta[s].Store(slotOccupied)
+		m.keyRef(s).Store(keys[i])
+		m.valRef(s).Store(vals[i])
+		m.metaRef(s).Store(slotOccupied)
 	}
 	m.buildSize = seg.N - len(conflicts)
+	// Record the evicted keys' fingerprints so lookups can prove "not in
+	// ART" without a tree traversal.
+	if len(conflicts) > 0 {
+		sc := newSidecar(m.nslots)
+		for _, ci := range conflicts {
+			sc.add(m.slotOf(keys[ci]), fp8(keys[ci]))
+		}
+		m.sc = sc
+	}
 	return m, conflicts
 }
 
@@ -104,13 +174,15 @@ func (m *model) slotOf(key uint64) int {
 // active (or the slot frozen for retraining) and the caller must retry
 // after reloading the model table.
 func (m *model) read(slot int) (key, val uint64, meta uint32, ok bool) {
-	m1 := m.meta[slot].Load()
+	b := &m.blocks[slot>>blockShift]
+	j := slot & blockMask
+	m1 := b.meta[j].Load()
 	if m1&slotLockBit != 0 {
 		return 0, 0, 0, false
 	}
-	k := m.keys[slot].Load()
-	v := m.vals[slot].Load()
-	if m.meta[slot].Load() != m1 {
+	k := b.keys[j].Load()
+	v := b.vals[j].Load()
+	if b.meta[j].Load() != m1 {
 		return 0, 0, 0, false
 	}
 	return k, v, m1, true
@@ -122,14 +194,14 @@ func stateOf(meta uint32) uint32 { return meta & (slotOccupied | slotTomb) }
 // acquire locks the slot for writing iff its metadata still equals seen
 // (which must be unlocked). The paper's even/odd write protocol.
 func (m *model) acquire(slot int, seen uint32) bool {
-	return m.meta[slot].CompareAndSwap(seen, seen|slotLockBit)
+	return m.metaRef(slot).CompareAndSwap(seen, seen|slotLockBit)
 }
 
 // release unlocks the slot, bumping the version and setting the new state
 // flags (slotOccupied, slotTomb or neither).
 func (m *model) release(slot int, seen, flags uint32) {
 	ver := seen >> slotVerShift
-	m.meta[slot].Store((ver+1)<<slotVerShift | flags)
+	m.metaRef(slot).Store((ver+1)<<slotVerShift | flags)
 }
 
 // freeze locks every slot permanently; used when the model is being
@@ -137,9 +209,10 @@ func (m *model) release(slot int, seen, flags uint32) {
 // returns no writer can touch the array and its contents are final.
 func (m *model) freeze() {
 	for s := 0; s < m.nslots; s++ {
+		mw := m.metaRef(s)
 		for spins := 0; ; spins++ {
-			cur := m.meta[s].Load()
-			if cur&slotLockBit == 0 && m.meta[s].CompareAndSwap(cur, cur|slotLockBit) {
+			cur := mw.Load()
+			if cur&slotLockBit == 0 && mw.CompareAndSwap(cur, cur|slotLockBit) {
 				break
 			}
 			if spins > 64 {
@@ -154,8 +227,9 @@ func (m *model) freeze() {
 // absorption that lost a race to a writer.
 func (m *model) unfreeze() {
 	for s := 0; s < m.nslots; s++ {
-		cur := m.meta[s].Load()
-		m.meta[s].Store((cur>>slotVerShift+1)<<slotVerShift | cur&(slotOccupied|slotTomb))
+		mw := m.metaRef(s)
+		cur := mw.Load()
+		mw.Store((cur>>slotVerShift+1)<<slotVerShift | cur&(slotOccupied|slotTomb))
 	}
 }
 
@@ -163,9 +237,9 @@ func (m *model) unfreeze() {
 // order (slot order equals key order because slotOf is monotone).
 func (m *model) frozenEntries() (keys, vals []uint64) {
 	for s := 0; s < m.nslots; s++ {
-		if m.meta[s].Load()&slotOccupied != 0 {
-			keys = append(keys, m.keys[s].Load())
-			vals = append(vals, m.vals[s].Load())
+		if m.metaRef(s).Load()&slotOccupied != 0 {
+			keys = append(keys, m.keyRef(s).Load())
+			vals = append(vals, m.valRef(s).Load())
 		}
 	}
 	return keys, vals
@@ -176,7 +250,7 @@ func (m *model) frozenEntries() (keys, vals []uint64) {
 func (m *model) liveCount() int {
 	n := 0
 	for s := 0; s < m.nslots; s++ {
-		if m.meta[s].Load()&slotOccupied != 0 {
+		if m.metaRef(s).Load()&slotOccupied != 0 {
 			n++
 		}
 	}
@@ -185,7 +259,11 @@ func (m *model) liveCount() int {
 
 // memory returns the model's approximate heap bytes.
 func (m *model) memory() uintptr {
-	return uintptr(m.nslots)*(8+8+4) + 96
+	total := uintptr(len(m.blocks))*unsafe.Sizeof(slotBlock{}) + 96
+	if m.sc != nil {
+		total += m.sc.memory()
+	}
+	return total
 }
 
 // table is the immutable, flattened model directory: models sorted by

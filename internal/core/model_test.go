@@ -103,8 +103,8 @@ func TestSeqlockProtocol(t *testing.T) {
 	if m.acquire(0, meta) {
 		t.Fatal("double acquire")
 	}
-	m.keys[0].Store(7)
-	m.vals[0].Store(70)
+	m.keyRef(0).Store(7)
+	m.valRef(0).Store(70)
 	m.release(0, meta, slotOccupied)
 	k, v, meta2, ok := m.read(0)
 	if !ok || stateOf(meta2) != slotOccupied || k != 7 || v != 70 {
@@ -135,7 +135,7 @@ func TestFreezeBlocksAndPreserves(t *testing.T) {
 	m.freeze()
 	// Every slot is now locked.
 	for s := 0; s < m.nslots; s++ {
-		if m.meta[s].Load()&slotLockBit == 0 {
+		if m.metaRef(s).Load()&slotLockBit == 0 {
 			t.Fatalf("slot %d not frozen", s)
 		}
 	}
@@ -227,10 +227,10 @@ func TestQuickBuildModelInvariants(t *testing.T) {
 			var prev uint64
 			seen := 0
 			for s := 0; s < m.nslots; s++ {
-				if m.meta[s].Load()&slotOccupied == 0 {
+				if m.metaRef(s).Load()&slotOccupied == 0 {
 					continue
 				}
-				k := m.keys[s].Load()
+				k := m.keyRef(s).Load()
 				if seen > 0 && k <= prev {
 					return false
 				}
@@ -248,8 +248,8 @@ func TestQuickBuildModelInvariants(t *testing.T) {
 			}
 			for i := 0; i < seg.N; i++ {
 				s := m.slotOf(keys[off+i])
-				k := m.keys[s].Load()
-				occ := m.meta[s].Load()&slotOccupied != 0
+				k := m.keyRef(s).Load()
+				occ := m.metaRef(s).Load()&slotOccupied != 0
 				if cset[i] {
 					if !occ || k == keys[off+i] {
 						return false

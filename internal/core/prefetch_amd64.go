@@ -1,0 +1,12 @@
+//go:build amd64
+
+package core
+
+import "unsafe"
+
+// prefetcht0 issues PREFETCHT0 for the cache line at p: a hint to pull
+// the line into every cache level without stalling. Purely advisory — no
+// architectural effect, safe on any address.
+//
+//go:noescape
+func prefetcht0(p unsafe.Pointer)

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package core
+
+import "unsafe"
+
+// prefetcht0 is a no-op on architectures without an exposed prefetch
+// instruction; the block layout still bounds a probe to adjacent lines.
+func prefetcht0(p unsafe.Pointer) { _ = p }

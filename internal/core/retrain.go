@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,8 +96,13 @@ func (r *retrainer) launch(t *ALT) {
 	}
 	for i := 0; i < n; i++ {
 		r.wg.Add(1)
+		labels := pprof.Labels("task", "retrain-worker", "worker", strconv.Itoa(i))
 		go func() {
 			defer r.wg.Done()
+			// Label the goroutine so CPU and goroutine profiles attribute
+			// pipeline time to the pool instead of an anonymous func; the
+			// per-rebuild key range is layered on in processRetrain.
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), labels))
 			for {
 				select {
 				case <-r.stop:
@@ -240,7 +249,14 @@ func (t *ALT) processRetrain(m *model, requeue bool) {
 		}
 	}
 	r.inflight.Add(1)
-	t.rebuild(m, lo, end)
+	// Scope the claimed key range onto the profiler labels for the
+	// rebuild's duration (pprof.Do restores the caller's labels after),
+	// so a CPU profile splits rebuild cost per range — including for the
+	// synchronous baseline, where the triggering writer runs this.
+	pprof.Do(context.Background(),
+		pprof.Labels("task", "retrain-worker",
+			"range", fmt.Sprintf("%#x-%#x", lo, end)),
+		func(context.Context) { t.rebuild(m, lo, end) })
 	r.inflight.Add(-1)
 	if gate := t.opts.RetrainGate; gate != nil {
 		<-gate
@@ -434,7 +450,7 @@ func (t *ALT) rebuild(m *model, lo, end uint64) {
 // the claim is recorded in *absorbed for release after the publish.
 func (t *ALT) absorbNeighbor(cur *table, i int, absorbed *[]keyRange) bool {
 	em := cur.models[i]
-	if em.nslots != 1 || stateOf(em.meta[0].Load()) != 0 {
+	if em.nslots != 1 || stateOf(em.metaRef(0).Load()) != 0 {
 		return false
 	}
 	nlo, nend := cur.rangeBounds(i)
@@ -442,7 +458,7 @@ func (t *ALT) absorbNeighbor(cur *table, i int, absorbed *[]keyRange) bool {
 		return false
 	}
 	em.freeze()
-	if stateOf(em.meta[0].Load()) != 0 {
+	if stateOf(em.metaRef(0).Load()) != 0 {
 		// A writer claimed the slot between the check and the freeze.
 		em.unfreeze()
 		t.ret.release(nlo, nend)
@@ -465,9 +481,7 @@ func newShell(seg gpl.Segment, last uint64, gapFactor float64) *model {
 	if m.nslots < seg.N {
 		m.nslots = seg.N
 	}
-	m.keys = make([]atomic.Uint64, m.nslots)
-	m.vals = make([]atomic.Uint64, m.nslots)
-	m.meta = make([]atomic.Uint32, m.nslots)
+	m.blocks = allocBlocks(m.nslots)
 	return m
 }
 
@@ -486,22 +500,30 @@ func (t *ALT) fillShells(shells []*model, keys, vals []uint64) ([]*model, []uint
 			hi = shells[si+1].first - 1
 		}
 		placed := 0
+		var sc *sidecar
 		for ki < len(keys) && keys[ki] <= hi {
 			k, v := keys[ki], vals[ki]
 			ki++
 			s := sh.slotOf(k)
-			if sh.meta[s].Load()&slotOccupied != 0 {
+			if sh.metaRef(s).Load()&slotOccupied != 0 {
 				t.tree.Put(k, v)
+				// Record the eviction in the shell's sidecar before it
+				// publishes.
+				if sc == nil {
+					sc = newSidecar(sh.nslots)
+				}
+				sc.add(s, fp8(k))
 				continue
 			}
-			sh.keys[s].Store(k)
-			sh.vals[s].Store(v)
-			sh.meta[s].Store(slotOccupied)
+			sh.keyRef(s).Store(k)
+			sh.valRef(s).Store(v)
+			sh.metaRef(s).Store(slotOccupied)
 			placed++
 		}
 		if placed == 0 {
 			continue // empty shell: neighbors' clamping covers its span
 		}
+		sh.sc = sc
 		sh.buildSize = placed
 		newModels = append(newModels, sh)
 		newFirsts = append(newFirsts, sh.first)
@@ -525,9 +547,7 @@ func (t *ALT) fillShells(shells []*model, keys, vals []uint64) ([]*model, []uint
 func emptyModel(first uint64) *model {
 	m := &model{first: first, slope: 1, nslots: 1, buildSize: 1}
 	m.fastIdx.Store(-1)
-	m.keys = make([]atomic.Uint64, 1)
-	m.vals = make([]atomic.Uint64, 1)
-	m.meta = make([]atomic.Uint32, 1)
+	m.blocks = allocBlocks(1)
 	return m
 }
 

@@ -166,9 +166,9 @@ func TestPlaceholderAbsorption(t *testing.T) {
 	retrain(mid)
 	tab = alt.tab.Load()
 	ph, phPos := tab.find(10_000_000)
-	if ph.nslots != 1 || stateOf(ph.meta[0].Load()) != 0 {
+	if ph.nslots != 1 || stateOf(ph.metaRef(0).Load()) != 0 {
 		t.Fatalf("emptied range did not become a never-written placeholder (nslots=%d meta=%x)",
-			ph.nslots, ph.meta[0].Load())
+			ph.nslots, ph.metaRef(0).Load())
 	}
 	before := len(tab.models)
 

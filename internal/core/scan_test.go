@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// collectScan gathers up to n pairs from Scan starting at start.
+func collectScan(alt *ALT, start uint64, n int) []uint64 {
+	var got []uint64
+	alt.Scan(start, n, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	return got
+}
+
+// twoClusterKeys builds two dense clusters far enough apart that GPL
+// splits them into separate models, leaving a huge trailing gap behind the
+// first model's key range.
+func twoClusterKeys() (keys []uint64, lastA, firstB uint64) {
+	for i := 0; i < 1500; i++ {
+		keys = append(keys, 10_000+uint64(i)*2)
+	}
+	lastA = keys[len(keys)-1]
+	firstB = uint64(1) << 40
+	for i := 0; i < 1500; i++ {
+		keys = append(keys, firstB+uint64(i)*3)
+	}
+	return keys, lastA, firstB
+}
+
+// TestScanTombstoneBoundaries removes keys sitting exactly on scan and
+// model boundaries — the scan's start key, the last key of one model, the
+// first key of the next — and checks Scan streams exactly the surviving
+// keys. Tombstones used to be easy to mishandle at these edges: a
+// tombstoned start slot must be skipped without ending the scan, and a
+// tombstoned model-boundary slot must not hide the neighbouring model.
+func TestScanTombstoneBoundaries(t *testing.T) {
+	keys, lastA, firstB := twoClusterKeys()
+	alt := mustBulk(t, Options{ErrorBound: 64}, keys)
+	if alt.StatsMap()["models"] < 2 {
+		t.Fatal("clusters did not split into separate models")
+	}
+
+	removed := []uint64{lastA, firstB, keys[10], keys[len(keys)-1]}
+	dead := map[uint64]bool{}
+	for _, rk := range removed {
+		if !alt.Remove(rk) {
+			t.Fatalf("Remove(%d) = false", rk)
+		}
+		dead[rk] = true
+	}
+	var want []uint64
+	for _, k := range keys {
+		if !dead[k] {
+			want = append(want, k)
+		}
+	}
+
+	// Full scan equality.
+	got := collectScan(alt, 0, len(keys))
+	if len(got) != len(want) {
+		t.Fatalf("full scan yielded %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("full scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// Scans starting exactly on each tombstone must begin at its live
+	// successor.
+	for _, rk := range removed {
+		succ := sort.Search(len(want), func(i int) bool { return want[i] >= rk })
+		g := collectScan(alt, rk, 5)
+		wn := want[succ:min(succ+5, len(want))]
+		if len(g) != len(wn) {
+			t.Fatalf("scan from tombstone %d yielded %d keys, want %d", rk, len(g), len(wn))
+		}
+		for i := range wn {
+			if g[i] != wn[i] {
+				t.Fatalf("scan from tombstone %d: [%d] = %d, want %d", rk, i, g[i], wn[i])
+			}
+		}
+	}
+
+	// A scan crossing the model boundary (both edge keys tombstoned) must
+	// hop models cleanly.
+	g := collectScan(alt, lastA-6, 8)
+	if len(g) < 4 || g[0] != lastA-6 {
+		t.Fatalf("boundary-crossing scan = %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] || dead[g[i]] {
+			t.Fatalf("boundary-crossing scan emitted %d (prev %d, dead=%v)", g[i], g[i-1], dead[g[i]])
+		}
+	}
+}
+
+// TestRangeStartsInTrailingGap starts ranges at keys routed to a model but
+// above its last resident key, so collectLearned walks the model's
+// trailing gap run (and, with the last key tombstoned, a tombstone at the
+// head of that run) before hopping to the next model.
+func TestRangeStartsInTrailingGap(t *testing.T) {
+	keys, lastA, firstB := twoClusterKeys()
+	alt := mustBulk(t, Options{ErrorBound: 64}, keys)
+
+	expectFrom := func(start uint64, wantFirst uint64, n int) {
+		t.Helper()
+		var got []uint64
+		for k := range alt.Range(start) {
+			got = append(got, k)
+			if len(got) == n {
+				break
+			}
+		}
+		if len(got) == 0 || got[0] != wantFirst {
+			t.Fatalf("Range(%d) starts %v, want first %d", start, got, wantFirst)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("Range(%d) not ascending: %v", start, got)
+			}
+		}
+	}
+
+	// Start just past the first model's last key: routed to model A, lands
+	// in its trailing gap, must surface model B's first key.
+	expectFrom(lastA+1, firstB, 10)
+	// Start midway through the inter-cluster void.
+	expectFrom(lastA+(firstB-lastA)/2, firstB, 10)
+
+	// Tombstone the first model's last key so the trailing run begins with
+	// a tombstone; the range must skip it without losing model B.
+	if !alt.Remove(lastA) {
+		t.Fatal("Remove(lastA) failed")
+	}
+	expectFrom(lastA, firstB, 10)
+	expectFrom(lastA-2, lastA-2, 10)
+
+	// Start beyond every key: the range must terminate empty.
+	n := 0
+	for range alt.Range(keys[len(keys)-1] + 1) {
+		n++
+	}
+	if n != 0 {
+		t.Fatalf("Range past the end yielded %d keys", n)
+	}
+}

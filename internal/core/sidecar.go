@@ -1,0 +1,102 @@
+package core
+
+// The overflow fingerprint sidecar.
+//
+// Every learned-layer miss that lands on a conflict slot (occupied by a
+// different key, or tombstoned) pays a full ART traversal before it can
+// answer "absent" — a chain of dependent pointer loads that dominates the
+// lookup cost on fit-hard datasets. But the set of keys a model evicted
+// to ART at build time is known exactly when the model is built, and it
+// only grows through one path afterwards: a runtime conflict eviction
+// under the model's slot lock.
+//
+// The sidecar exploits that: at build time the model records, per evicted
+// key, an 8-bit fingerprint in a slot-indexed tag array. A lookup that
+// reaches the conflict path first asks the sidecar; if the key's predicted
+// slot carries no eviction tag — or a tag that cannot be this key's — the
+// key cannot be ART-resident and the lookup answers "absent" without
+// touching the tree. The probe is one byte load, so ART-resident lookups
+// (which must still traverse) pay almost nothing for it. False positives
+// (fingerprint collisions, multi-eviction slots, keys since removed from
+// ART) cost one redundant traversal; false "absent" answers are made
+// impossible by the epoch stamp below.
+//
+// Invalidation. The sidecar is immutable. The model's artEpoch counter
+// starts at the value the sidecar was built against (zero — rebuilt
+// models are fresh objects) and every runtime eviction bumps it BEFORE
+// the tree insert, both under the evicting writer's slot lock. A reader
+// therefore trusts the sidecar only while artEpoch still equals the
+// build value: if the epoch load observes the pre-bump value, the
+// eviction's tree insert has not happened yet either (the bump and the
+// insert are ordered, and Go atomics are sequentially consistent), so
+// linearizing the lookup before that eviction is sound. One eviction
+// permanently invalidates the sidecar — deliberately cheap and coarse,
+// because retraining rebuilds the model (and a fresh, complete sidecar)
+// as soon as a model accumulates real overflow traffic.
+//
+// Removals from ART (lookup write-back, Remove, retrain range drains)
+// never invalidate: they only shrink the ART-resident set, so a stale
+// "maybe present" stays a harmless false positive.
+
+// Sidecar tag values. A slot's tag is 0 when the build evicted nothing
+// there, the evicted key's fingerprint (in [1, 0xFE]) for exactly one
+// eviction, and scManyTag when several keys conflicted out of the same
+// slot (any fingerprint would then lie for the others).
+const scManyTag = uint8(0xFF)
+
+// sidecar is one model's build-time conflict map: one tag byte per slot.
+// A byte per slot is 5% on top of the 20 slot bytes, paid only by models
+// whose build actually evicted keys; the payoff is an O(1), single-load
+// membership test on the hottest miss path.
+type sidecar struct {
+	tags []uint8
+}
+
+func newSidecar(nslots int) *sidecar {
+	return &sidecar{tags: make([]uint8, nslots)}
+}
+
+// add records one eviction at slot s.
+func (sc *sidecar) add(s int, tag uint8) {
+	switch cur := sc.tags[s]; {
+	case cur == 0:
+		sc.tags[s] = tag
+	case cur != tag:
+		sc.tags[s] = scManyTag
+	}
+}
+
+func (sc *sidecar) memory() uintptr {
+	return uintptr(cap(sc.tags)) + 24
+}
+
+// fp8 is the sidecar's 8-bit key fingerprint: a Fibonacci-hash mix folded
+// into [1, 0xFE] so nearby keys (the common case among one slot's
+// conflicts) still get distinct tags, and the 0 / scManyTag sentinels stay
+// unambiguous.
+func fp8(k uint64) uint8 {
+	return uint8((k*0x9e3779b97f4a7c15)>>56)%254 + 1
+}
+
+// absentInART reports whether key — predicted to slot s of m, which was
+// observed occupied by a different key or tombstoned — is provably absent
+// from the ART layer, letting the caller skip the tree traversal.
+//
+// The proof needs two facts: the sidecar still describes every eviction
+// this model has ever performed (artEpoch unchanged since build, which
+// also covers the no-conflicts case where sc is nil and the build evicted
+// nothing), and slot s's tag rules the key out. Callers must have
+// seqlock-validated the slot read that routed them here: a validated read
+// proves the model was not yet frozen, so evictions via any successor
+// model are ordered after the caller's linearization point.
+func (m *model) absentInART(key uint64, s int) bool {
+	if m.artEpoch.Load() != 0 {
+		return false // runtime evictions happened; sidecar stale
+	}
+	sc := m.sc
+	if sc == nil {
+		return true // built with zero conflicts and none added since
+	}
+	tag := sc.tags[s]
+	return tag == 0 || (tag != scManyTag && tag != fp8(key))
+}

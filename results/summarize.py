@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
 """Summarise benchmark artifacts. Stdlib only; rerun after regenerating.
 
-Two input modes, chosen by file extension:
+Three modes:
 
-- results/experiments_raw.txt (default): per Fig-7 mix, print each
+- summarize.py [results/experiments_raw.txt]: per Fig-7 mix, print each
   dataset's ALT throughput, the best baseline, and the ratio — the
   numbers EXPERIMENTS.md quotes.
-- results/BENCH_4.json (any .json): the shard-scaling sweep. Prints, per
-  dataset, a threads x shard-count throughput grid plus the speedup of
-  every shard count over the unsharded (S0) run at the same thread
-  count, and flags the max-thread speedups the acceptance gate reads.
+- summarize.py results/BENCH_4.json (any .json): the shard-scaling
+  sweep. Prints, per dataset, a threads x shard-count throughput grid
+  plus the speedup of every shard count over the unsharded (S0) run at
+  the same thread count, and flags the max-thread speedups the
+  acceptance gate reads.
+- summarize.py compare OLD.json NEW.json: diff two altbench -json
+  artifacts row by row — rows are keyed on (Experiment, Index, Dataset,
+  Mix, Threads) — printing ns/op and Mops for both sides, the Mops delta
+  percentage, and a REGRESSION flag on any row that slowed down by more
+  than the threshold (default 3%, override with a trailing percentage
+  argument). Exits 1 if any row regressed, so CI can gate on it.
 """
 import json
 import re
@@ -89,7 +96,79 @@ def summarize_shards(path):
                 )
 
 
-def main(path="results/experiments_raw.txt"):
+def load_rows(path):
+    """Index an altbench -json artifact by (Experiment, Index, Dataset, Mix, Threads)."""
+    doc = json.load(open(path))
+    rows = {}
+    for run in doc.get("Runs", []):
+        key = (
+            run.get("Experiment", ""),
+            run.get("Index", ""),
+            run.get("Dataset", ""),
+            run.get("Mix", ""),
+            run.get("Threads", 0),
+        )
+        rows[key] = run
+    return rows
+
+
+def ns_per_op(run):
+    ops = run.get("Ops", 0)
+    if not ops:
+        return 0.0
+    return run.get("Elapsed", 0) / ops  # Elapsed is serialized in ns
+
+
+def compare(old_path, new_path, threshold_pct=3.0):
+    """Diff two BENCH_*.json artifacts; return the number of regressions.
+
+    A row regresses when its throughput drops by more than threshold_pct.
+    Rows present on only one side are listed but never flagged (a new
+    experiment is not a regression).
+    """
+    old, new = load_rows(old_path), load_rows(new_path)
+    shared = [k for k in old if k in new]
+    if not shared:
+        print(f"compare: no shared rows between {old_path} and {new_path}")
+        return 0
+    width = max(len(" ".join(str(p) for p in k[:4])) for k in shared)
+    print(f"== compare: {old_path} -> {new_path} (threshold {threshold_pct:.1f}%) ==")
+    print(
+        f"{'experiment index dataset mix':<{width}s} thr "
+        f"{'old ns/op':>10s} {'new ns/op':>10s} {'old Mops':>9s} {'new Mops':>9s} {'delta':>8s}"
+    )
+    regressions = 0
+    for k in sorted(shared):
+        o, n = old[k], new[k]
+        label = " ".join(str(p) for p in k[:4])
+        delta = 0.0
+        if o.get("Mops"):
+            delta = 100.0 * (n.get("Mops", 0.0) - o["Mops"]) / o["Mops"]
+        flag = ""
+        if delta < -threshold_pct:
+            flag = "  REGRESSION"
+            regressions += 1
+        print(
+            f"{label:<{width}s} {k[4]:>3d} "
+            f"{ns_per_op(o):>10.1f} {ns_per_op(n):>10.1f} "
+            f"{o.get('Mops', 0.0):>9.2f} {n.get('Mops', 0.0):>9.2f} {delta:>+7.1f}%{flag}"
+        )
+    for k in sorted(set(old) - set(new)):
+        print(f"  only in {old_path}: {' '.join(str(p) for p in k)}")
+    for k in sorted(set(new) - set(old)):
+        print(f"  only in {new_path}: {' '.join(str(p) for p in k)}")
+    if regressions:
+        print(f"compare: {regressions} regression(s) beyond {threshold_pct:.1f}%")
+    return regressions
+
+
+def main(*argv):
+    if argv and argv[0] == "compare":
+        if len(argv) < 3:
+            sys.exit("usage: summarize.py compare OLD.json NEW.json [threshold%]")
+        threshold = float(argv[3]) if len(argv) > 3 else 3.0
+        sys.exit(1 if compare(argv[1], argv[2], threshold) else 0)
+    path = argv[0] if argv else "results/experiments_raw.txt"
     if path.endswith(".json"):
         summarize_shards(path)
     else:
