@@ -20,12 +20,17 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"altindex/internal/bench"
 )
+
+// largeTierKeys is the -tier large default dataset size; ≥50M stays an
+// explicit -keys opt-in so nobody triggers an hour-long run by accident.
+const largeTierKeys = 20_000_000
 
 func main() {
 	var (
@@ -38,6 +43,10 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "dataset/workload seed")
 		batch   = flag.String("batch", "", "comma-separated batch sizes for the 'batch' experiment (default 1,8,64,256)")
 		shards  = flag.Int("shards", 0, "extra shard count for the 'shard-scaling' sweep (0 = default sweep)")
+		tier    = flag.String("tier", "", "scale tier: 'large' defaults -keys to 20M and -exp to large-scale (pass -keys 50000000 or more to opt higher)")
+
+		gogc     = flag.Int("gogc", 0, "debug.SetGCPercent value for the whole process (0 = leave GOGC/runtime default)")
+		memlimit = flag.Int64("memlimit", 0, "debug.SetMemoryLimit bytes (0 = leave GOMEMLIMIT/runtime default)")
 
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -50,6 +59,35 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "altbench: -batch: %v\n", err)
 		os.Exit(2)
+	}
+
+	switch *tier {
+	case "":
+	case "large":
+		keysSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "keys" {
+				keysSet = true
+			}
+		})
+		if !keysSet {
+			*keys = largeTierKeys
+		}
+		if *exp == "" {
+			*exp = "large-scale"
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "altbench: unknown -tier %q (only 'large')\n", *tier)
+		os.Exit(2)
+	}
+
+	// GC knobs apply to the whole process so the JSON metadata below
+	// describes exactly what every recorded run executed under.
+	if *gogc != 0 {
+		debug.SetGCPercent(*gogc)
+	}
+	if *memlimit > 0 {
+		debug.SetMemoryLimit(*memlimit)
 	}
 
 	if *list {
@@ -124,11 +162,25 @@ func main() {
 	}
 
 	if *jsonOut != "" {
+		// Reproducibility metadata: the GC configuration and host shape a
+		// perf-trajectory artifact ran under. The GOGC/GOMEMLIMIT values
+		// are the effective runtime settings (flag, env or default), read
+		// back from the runtime itself.
+		curGC := debug.SetGCPercent(100)
+		debug.SetGCPercent(curGC)
 		doc := struct {
 			Keys, Threads, Ops, Shards int
 			Seed                       uint64
+			Tier                       string
+			GOGC                       int
+			GOMEMLIMIT                 int64
+			NumCPU                     int
+			GOMAXPROCS                 int
+			GoVersion                  string
 			Runs                       []jsonRow
-		}{*keys, *threads, *ops, *shards, *seed, rows}
+		}{*keys, *threads, *ops, *shards, *seed, *tier,
+			curGC, debug.SetMemoryLimit(-1), runtime.NumCPU(),
+			runtime.GOMAXPROCS(0), runtime.Version(), rows}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "altbench: -json: %v\n", err)

@@ -1,0 +1,240 @@
+// Package arena provides pointer-free chunked memory arenas and an
+// epoch-based reclamation domain for the index's slot-block storage.
+//
+// The motivation is GC scan work and allocation churn at paper scale
+// (§IV runs 200M keys): every GPL model owns a []slotBlock slice, and
+// retraining replaces whole models continuously under write-heavy load.
+// Individually allocated slices make the collector (a) trace a live
+// pointer per model and (b) re-mark and sweep the churn of retired
+// tables. An Arena instead carves spans out of large standard chunks
+// whose element type contains no pointers — the chunks land in noscan
+// spans, so the collector never looks inside them — and recycles whole
+// chunks once every span cut from them has been released, so steady
+// retrain churn stops allocating at all.
+//
+// Release is manual, which is exactly why the epoch Domain (epoch.go)
+// exists: the index retires a model's span onto a limbo list and the
+// domain only runs the release once every reader that could still hold
+// the old model table has moved past the retiring epoch.
+package arena
+
+import (
+	"math/bits"
+	"sync"
+	"unsafe"
+)
+
+// Arena is a chunked allocator for a pointer-free element type T.
+// Spans of up to the arena's standard chunk length are bump-allocated
+// out of shared chunks; larger requests get a dedicated chunk rounded
+// up to a power-of-two capacity so size classes recycle across varying
+// model sizes. A chunk returns to the arena's free pool when every span
+// cut from it has been Released, and future allocations reuse pooled
+// chunks before growing the heap.
+//
+// All methods are safe for concurrent use. A nil *Arena is valid and
+// degrades to plain make([]T, n) allocations the collector owns —
+// callers (and tests) that do not manage reclamation pass nil.
+type Arena[T any] struct {
+	chunkLen int
+	elemSize uintptr
+
+	mu  sync.Mutex
+	cur *chunk[T]
+	// free pools recycled chunks by capacity class (cap of the backing
+	// slice): the standard class plus one power-of-two class per oversize
+	// allocation size seen.
+	free map[int][]*chunk[T]
+
+	chunksMade  int64
+	reuses      int64
+	liveBytes   int64
+	retainBytes int64
+}
+
+type chunk[T any] struct {
+	buf    []T
+	used   int
+	spans  int
+	sealed bool // no further bump allocation; recycle when spans hits 0
+}
+
+// Span is one allocation: a slice of the owning chunk. The zero Span is
+// valid (empty, Release is a no-op), as is a Span from a nil Arena
+// (plain heap slice, Release is a no-op and the collector reclaims it).
+type Span[T any] struct {
+	data []T
+	c    *chunk[T]
+	a    *Arena[T]
+}
+
+// Data returns the span's elements. The slice aliases arena memory:
+// after Release it may be poisoned and recycled, so callers must not
+// touch it past the release point — that discipline is what the epoch
+// Domain enforces for the index's readers.
+func (s Span[T]) Data() []T { return s.data }
+
+// Bytes returns the span's size in bytes.
+func (s Span[T]) Bytes() uintptr {
+	return uintptr(len(s.data)) * unsafe.Sizeof(*new(T))
+}
+
+// New returns an arena whose shared chunks hold chunkLen elements.
+func New[T any](chunkLen int) *Arena[T] {
+	if chunkLen < 1 {
+		chunkLen = 1
+	}
+	return &Arena[T]{
+		chunkLen: chunkLen,
+		elemSize: unsafe.Sizeof(*new(T)),
+		free:     make(map[int][]*chunk[T]),
+	}
+}
+
+// Alloc returns a zeroed span of n elements. Requests at or below the
+// standard chunk length share chunks; larger ones get a dedicated chunk
+// of the next power-of-two capacity. n <= 0 returns the empty span.
+func (a *Arena[T]) Alloc(n int) Span[T] {
+	if n <= 0 {
+		return Span[T]{}
+	}
+	if a == nil {
+		return Span[T]{data: make([]T, n)}
+	}
+	a.mu.Lock()
+	var c *chunk[T]
+	var off int
+	if n > a.chunkLen {
+		// Oversize: dedicated, sealed immediately — it recycles as one
+		// unit when its single span is released.
+		c = a.take(ceilPow2(n))
+		c.sealed = true
+		c.used = n
+	} else {
+		if a.cur == nil || a.cur.used+n > a.chunkLen {
+			a.seal(a.cur)
+			a.cur = a.take(a.chunkLen)
+		}
+		c = a.cur
+		off = c.used
+		c.used += n
+	}
+	c.spans++
+	a.liveBytes += int64(n) * int64(a.elemSize)
+	data := c.buf[off : off+n : off+n]
+	if poisonEnabled {
+		// Failpoint builds poison at recycle instead of zeroing, so the
+		// zeroed-memory contract is restored here — the poison lives
+		// exactly in the release-to-reuse window a use-after-free hits.
+		clear(data)
+	}
+	a.mu.Unlock()
+	return Span[T]{data: data, c: c, a: a}
+}
+
+// Release returns the span's memory to the arena. When it was the
+// chunk's last live span (and the chunk is sealed — no longer the bump
+// target) the whole chunk is poisoned (under -tags failpoint) and moved
+// to the free pool for reuse. The caller guarantees no reader can still
+// dereference the span — the epoch Domain's job.
+func (s Span[T]) Release() {
+	if s.c == nil {
+		return
+	}
+	a := s.a
+	a.mu.Lock()
+	s.c.spans--
+	if s.c.spans < 0 {
+		panic("arena: span double-released")
+	}
+	a.liveBytes -= int64(len(s.data)) * int64(a.elemSize)
+	// Recycle a drained chunk when it is sealed or has no capacity left
+	// to bump-allocate from anyway (recycle clears a.cur in that case).
+	if s.c.spans == 0 && (s.c.sealed || s.c.used == len(s.c.buf)) {
+		a.recycle(s.c)
+	}
+	a.mu.Unlock()
+}
+
+// seal marks c full. Called with a.mu held; nil is allowed.
+func (a *Arena[T]) seal(c *chunk[T]) {
+	if c == nil {
+		return
+	}
+	c.sealed = true
+	if c.spans == 0 {
+		a.recycle(c)
+	}
+}
+
+// take pops a pooled chunk of exactly capElems capacity, or grows the
+// heap by one. Called with a.mu held.
+func (a *Arena[T]) take(capElems int) *chunk[T] {
+	if pool := a.free[capElems]; len(pool) > 0 {
+		c := pool[len(pool)-1]
+		a.free[capElems] = pool[:len(pool)-1]
+		a.reuses++
+		a.retainBytes -= int64(capElems) * int64(a.elemSize)
+		return c
+	}
+	a.chunksMade++
+	return &chunk[T]{buf: make([]T, capElems)}
+}
+
+// recycle zeroes a drained chunk and pools it; Alloc's zeroed-memory
+// contract (gap slots are "empty" because their meta word is zero) is
+// thereby upheld across reuse. Under -tags failpoint the chunk is
+// instead filled with PoisonByte so a use-after-release reads
+// deterministic garbage, and Alloc re-zeroes each span it hands out.
+func (a *Arena[T]) recycle(c *chunk[T]) {
+	if poisonEnabled && len(c.buf) > 0 {
+		poisonBytes(unsafe.Pointer(&c.buf[0]), uintptr(len(c.buf))*a.elemSize)
+	} else if len(c.buf) > 0 {
+		clear(c.buf)
+	}
+	c.used = 0
+	c.spans = 0
+	c.sealed = false
+	a.free[cap(c.buf)] = append(a.free[cap(c.buf)], c)
+	a.retainBytes += int64(cap(c.buf)) * int64(a.elemSize)
+	if c == a.cur {
+		a.cur = nil
+	}
+}
+
+// Stats is a point-in-time accounting snapshot.
+type Stats struct {
+	ChunksMade    int64 // chunks ever allocated from the Go heap
+	ChunksFree    int64 // chunks sitting in the reuse pool
+	Reuses        int64 // allocations served by recycling a pooled chunk
+	LiveBytes     int64 // bytes in live (unreleased) spans
+	RetainedBytes int64 // bytes held by the reuse pool
+}
+
+// Stats returns the arena's accounting snapshot; zero for a nil arena.
+func (a *Arena[T]) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var free int64
+	for _, pool := range a.free {
+		free += int64(len(pool))
+	}
+	return Stats{
+		ChunksMade:    a.chunksMade,
+		ChunksFree:    free,
+		Reuses:        a.reuses,
+		LiveBytes:     a.liveBytes,
+		RetainedBytes: a.retainBytes,
+	}
+}
+
+// ceilPow2 rounds n up to a power of two.
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

@@ -1,0 +1,196 @@
+package arena
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// block160 mirrors core's slotBlock shape: 8 interleaved lanes of
+// key/meta/value, 160 bytes per block.
+type block160 struct {
+	keys [8]uint64
+	meta [8]uint32
+	vals [8]uint64
+}
+
+func TestBlock160Size(t *testing.T) {
+	if s := unsafe.Sizeof(block160{}); s != 160 {
+		t.Fatalf("block160 size = %d, want 160", s)
+	}
+}
+
+// TestGrowthAcrossChunks allocates many small spans through several
+// chunks and checks they are disjoint, zeroed and fully usable.
+func TestGrowthAcrossChunks(t *testing.T) {
+	a := New[uint64](16)
+	type span struct {
+		s    Span[uint64]
+		base uint64
+	}
+	var spans []span
+	for i := 0; i < 100; i++ {
+		n := 1 + i%7
+		s := a.Alloc(n)
+		if len(s.Data()) != n {
+			t.Fatalf("alloc %d: len = %d", n, len(s.Data()))
+		}
+		for j, v := range s.Data() {
+			if v != 0 {
+				t.Fatalf("alloc %d: slot %d not zeroed: %d", i, j, v)
+			}
+		}
+		base := uint64(i) << 32
+		for j := range s.Data() {
+			s.Data()[j] = base + uint64(j)
+		}
+		spans = append(spans, span{s, base})
+	}
+	// No span's writes may have clobbered another's.
+	for i, sp := range spans {
+		for j, v := range sp.s.Data() {
+			if v != sp.base+uint64(j) {
+				t.Fatalf("span %d slot %d = %#x, want %#x", i, j, v, sp.base+uint64(j))
+			}
+		}
+	}
+	st := a.Stats()
+	if st.ChunksMade < 2 {
+		t.Fatalf("expected growth across multiple chunks, made %d", st.ChunksMade)
+	}
+	if want := int64(0); st.RetainedBytes != want {
+		t.Fatalf("retained = %d before any release", st.RetainedBytes)
+	}
+	for _, sp := range spans {
+		sp.s.Release()
+	}
+	if st := a.Stats(); st.LiveBytes != 0 {
+		t.Fatalf("live = %d after releasing everything", st.LiveBytes)
+	}
+}
+
+// TestLaneAlignment verifies 160-byte slot-block spans start at
+// block-aligned offsets within the chunk and stay 8-byte aligned, so the
+// interleaved uint64 lanes are safe for atomic access.
+func TestLaneAlignment(t *testing.T) {
+	a := New[block160](64)
+	var prevEnd uintptr
+	contiguous := 0
+	for i := 0; i < 200; i++ {
+		s := a.Alloc(1 + i%5)
+		d := s.Data()
+		p := uintptr(unsafe.Pointer(&d[0]))
+		if p%8 != 0 {
+			t.Fatalf("span %d not 8-byte aligned: %#x", i, p)
+		}
+		// Bump allocation makes same-chunk neighbors exactly contiguous —
+		// whole 160-byte blocks apart by construction; anything else is
+		// the start of a fresh chunk.
+		if p == prevEnd {
+			contiguous++
+		}
+		prevEnd = p + uintptr(len(d))*160
+	}
+	if contiguous < 150 {
+		t.Fatalf("only %d of 200 spans were bump-contiguous; chunking broken", contiguous)
+	}
+}
+
+// TestChunkReuse drives the seal→release→recycle→reuse cycle for the
+// standard chunk class and checks the recycled memory is zeroed again.
+func TestChunkReuse(t *testing.T) {
+	a := New[uint64](8)
+	// Fill two chunks exactly, dirtying every word.
+	var spans []Span[uint64]
+	for i := 0; i < 4; i++ {
+		s := a.Alloc(4)
+		for j := range s.Data() {
+			s.Data()[j] = ^uint64(0)
+		}
+		spans = append(spans, s)
+	}
+	// Force the second chunk out of the bump position so it seals too.
+	tail := a.Alloc(8)
+	for _, s := range spans {
+		s.Release()
+	}
+	st := a.Stats()
+	if st.ChunksFree < 2 {
+		t.Fatalf("chunks free = %d, want >= 2 after draining two sealed chunks", st.ChunksFree)
+	}
+	made := st.ChunksMade
+	// New allocations must come from the pool, zeroed.
+	for i := 0; i < 4; i++ {
+		s := a.Alloc(4)
+		for j, v := range s.Data() {
+			if v != 0 {
+				t.Fatalf("reused alloc %d slot %d = %#x, want 0", i, j, v)
+			}
+		}
+	}
+	st = a.Stats()
+	if st.ChunksMade != made {
+		t.Fatalf("chunks made grew %d -> %d despite pooled chunks", made, st.ChunksMade)
+	}
+	if st.Reuses == 0 {
+		t.Fatal("no chunk reuse recorded")
+	}
+	tail.Release()
+}
+
+// TestOversize checks dedicated chunks: pow2-rounded capacity, immediate
+// recycling on release, and reuse by the same size class.
+func TestOversize(t *testing.T) {
+	a := New[uint64](16)
+	s := a.Alloc(100) // > chunkLen → dedicated chunk of cap 128
+	if len(s.Data()) != 100 {
+		t.Fatalf("len = %d", len(s.Data()))
+	}
+	s.Data()[99] = 42
+	s.Release()
+	st := a.Stats()
+	if st.ChunksFree != 1 || st.RetainedBytes != 128*8 {
+		t.Fatalf("after oversize release: free=%d retained=%d, want 1/%d",
+			st.ChunksFree, st.RetainedBytes, 128*8)
+	}
+	s2 := a.Alloc(70) // same pow2 class (128) → must reuse
+	if st := a.Stats(); st.Reuses != 1 {
+		t.Fatalf("reuses = %d, want 1", st.Reuses)
+	}
+	for j, v := range s2.Data() {
+		if v != 0 {
+			t.Fatalf("reused oversize slot %d = %d, want 0", j, v)
+		}
+	}
+	s2.Release()
+}
+
+// TestNilArena: a nil arena degrades to GC-owned slices.
+func TestNilArena(t *testing.T) {
+	var a *Arena[uint64]
+	s := a.Alloc(10)
+	if len(s.Data()) != 10 {
+		t.Fatalf("len = %d", len(s.Data()))
+	}
+	s.Data()[0] = 7
+	s.Release() // no-op, must not panic
+	if s.Data()[0] != 7 {
+		t.Fatal("nil-arena span mutated by Release")
+	}
+	if st := a.Stats(); st != (Stats{}) {
+		t.Fatalf("nil arena stats = %+v", st)
+	}
+	var zero Span[uint64]
+	zero.Release()
+	if zero.Data() != nil || zero.Bytes() != 0 {
+		t.Fatal("zero span not empty")
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 127: 128, 128: 128, 129: 256}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Fatalf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package arena
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Domain is an epoch-based reclamation domain: the bridge between the
+// index's lock-free readers and the Arena's manual Release.
+//
+// Protocol (classic 3-bucket EBR):
+//
+//   - Readers Pin before touching the model table and Unpin after. A pin
+//     increments a striped counter for the current global epoch e.
+//   - Writers Retire superseded objects (model spans, routing tables)
+//     onto the limbo list of the epoch current at retire time. Crucially
+//     the replacement is published *before* Retire, so any reader that
+//     pins at a later epoch can only observe the new version.
+//   - TryAdvance moves the global epoch e → e+1 once no reader remains
+//     pinned at e-1, then frees everything retired at e-1: by induction
+//     readers only ever hold pins at e or e-1, so when bucket e-1 drains
+//     the surviving readers all pinned after the epoch became e — which
+//     is after every epoch-(e-1) retirement's replacement was published.
+//
+// Three buckets suffice because bucket (e+1)%3 == (e-2)%3 is empty of
+// both pins and limbo entries by the time the epoch reaches e (its pins
+// drained to allow the previous advance, its limbo was freed by it).
+// Pin guards against the classic stale-epoch race by re-reading the
+// global epoch after incrementing and retrying on mismatch; Go atomics
+// are sequentially consistent, which makes the advance-side counter scan
+// and the reader-side recheck a proper handshake (one of the two always
+// observes the other).
+//
+// A nil *Domain is valid: Retire frees immediately (single-threaded /
+// test use), Pin returns a no-op guard.
+type Domain struct {
+	global atomic.Uint64
+
+	// stripe spreads pin counters across cache lines; a goroutine picks
+	// its stripe by hashing a stack address, the closest portable Go gets
+	// to a CPU-local slot.
+	stripe [epochStripes]stripeCounts
+
+	mu    sync.Mutex
+	limbo [3][]retired
+
+	limboCount atomic.Int64
+	limboBytes atomic.Int64
+	reclaims   atomic.Int64
+	advances   atomic.Int64
+}
+
+const epochStripes = 32
+
+type stripeCounts struct {
+	pins [3]atomic.Int64
+	_    [128 - 3*8]byte // pad to two cache lines against false sharing
+}
+
+type retired struct {
+	bytes uintptr
+	free  func()
+}
+
+// Guard is an active reader pin. The zero Guard (and any Guard from a
+// nil Domain) is a valid no-op.
+type Guard struct {
+	c *atomic.Int64
+}
+
+// NewDomain returns an empty reclamation domain.
+func NewDomain() *Domain { return &Domain{} }
+
+// Pin enters the current epoch and returns the guard that must be
+// Unpinned when the reader is done with everything it loaded. Pins are
+// cheap (two atomic ops, no lock) and may nest freely.
+func (d *Domain) Pin() Guard {
+	if d == nil {
+		return Guard{}
+	}
+	s := &d.stripe[stripeIdx()]
+	for {
+		e := d.global.Load()
+		c := &s.pins[e%3]
+		c.Add(1)
+		// Recheck: if the epoch advanced between the load and the
+		// increment we may have pinned a bucket the advancer already
+		// judged empty — undo and retry against the new epoch.
+		if d.global.Load() == e {
+			return Guard{c: c}
+		}
+		c.Add(-1)
+	}
+}
+
+// Unpin leaves the epoch entered by Pin.
+func (g Guard) Unpin() {
+	if g.c != nil {
+		g.c.Add(-1)
+	}
+}
+
+// stripeIdx hashes a stack-local address into a stripe. The address is
+// stable enough per goroutine to keep a tight loop on one counter while
+// spreading unrelated goroutines across stripes.
+func stripeIdx() int {
+	var x byte
+	h := uintptr(unsafe.Pointer(&x)) * 0x9e3779b97f4a7c15
+	return int(h>>57) & (epochStripes - 1)
+}
+
+// Retire schedules free to run once every reader that could still see
+// the retired object has unpinned. bytes is accounting only (limbo_bytes
+// in stats). The caller must have already published the replacement.
+// On a nil domain free runs immediately.
+func (d *Domain) Retire(bytes uintptr, free func()) {
+	if d == nil {
+		if free != nil {
+			free()
+		}
+		return
+	}
+	d.mu.Lock()
+	e := d.global.Load()
+	d.limbo[e%3] = append(d.limbo[e%3], retired{bytes: bytes, free: free})
+	d.mu.Unlock()
+	d.limboCount.Add(1)
+	d.limboBytes.Add(int64(bytes))
+	// Opportunistic: retirement is the natural moment to turn the crank,
+	// and it keeps limbo bounded without a dedicated reclaimer thread.
+	d.TryAdvance()
+}
+
+// TryAdvance attempts one epoch advance, freeing everything retired two
+// epochs ago on success. It fails (returns false) when a reader is still
+// pinned in the previous epoch or when it loses the race to another
+// advancer — both benign; callers just try again later.
+func (d *Domain) TryAdvance() bool {
+	if d == nil {
+		return false
+	}
+	e := d.global.Load()
+	prev := (e + 2) % 3 // (e-1) mod 3 without uint underflow
+	for i := range d.stripe {
+		if d.stripe[i].pins[prev].Load() != 0 {
+			return false
+		}
+	}
+	d.mu.Lock()
+	if d.global.Load() != e {
+		d.mu.Unlock()
+		return false
+	}
+	// No re-scan of the counters is needed under the lock: the epoch can
+	// only change under d.mu, so while global == e a Pin can only commit
+	// into bucket e%3 (any stale-epoch increment into prev fails its
+	// recheck and is undone). The scan above therefore proved prev drained.
+	drained := d.limbo[prev]
+	d.limbo[prev] = nil
+	d.global.Store(e + 1)
+	d.mu.Unlock()
+	d.advances.Add(1)
+	if len(drained) > 0 {
+		var bytes int64
+		for _, r := range drained {
+			bytes += int64(r.bytes)
+			if r.free != nil {
+				r.free()
+			}
+		}
+		d.limboCount.Add(-int64(len(drained)))
+		d.limboBytes.Add(-bytes)
+		d.reclaims.Add(int64(len(drained)))
+	}
+	return true
+}
+
+// Drain cranks the epoch until the limbo lists are empty or attempts
+// advances have been tried, yielding between failed attempts. Used by
+// Quiesce/Close and tests; returns whether limbo fully drained. It
+// cannot force out a still-pinned reader — that reader's epoch simply
+// refuses to advance, which is the point.
+func (d *Domain) Drain(attempts int) bool {
+	if d == nil {
+		return true
+	}
+	for i := 0; i < attempts; i++ {
+		if d.limboCount.Load() == 0 {
+			return true
+		}
+		if !d.TryAdvance() {
+			runtime.Gosched()
+		}
+	}
+	return d.limboCount.Load() == 0
+}
+
+// Epoch returns the current global epoch.
+func (d *Domain) Epoch() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.global.Load()
+}
+
+// DomainStats is a point-in-time reclamation snapshot.
+type DomainStats struct {
+	Epoch      uint64 // current global epoch
+	LimboCount int64  // objects awaiting reclamation
+	LimboBytes int64  // their accounted bytes
+	Reclaims   int64  // objects freed so far
+	Advances   int64  // successful epoch advances
+}
+
+// Stats returns the domain's counters; zero for a nil domain.
+func (d *Domain) Stats() DomainStats {
+	if d == nil {
+		return DomainStats{}
+	}
+	return DomainStats{
+		Epoch:      d.global.Load(),
+		LimboCount: d.limboCount.Load(),
+		LimboBytes: d.limboBytes.Load(),
+		Reclaims:   d.reclaims.Load(),
+		Advances:   d.advances.Load(),
+	}
+}

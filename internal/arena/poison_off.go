@@ -1,0 +1,11 @@
+//go:build !failpoint
+
+package arena
+
+import "unsafe"
+
+// poisonEnabled gates recycle-time poisoning; production builds zero
+// recycled chunks instead (cheap, and Alloc's contract is zeroed memory).
+const poisonEnabled = false
+
+func poisonBytes(p unsafe.Pointer, n uintptr) {}

@@ -1,0 +1,21 @@
+//go:build failpoint
+
+package arena
+
+import "unsafe"
+
+// Failpoint builds poison recycled chunks with a recognizable byte so a
+// use-after-release reads deterministic garbage (keys of
+// 0xDBDBDBDBDBDBDBDB, meta words with the lock bit set) instead of
+// stale-but-plausible data. Chaos and unit tests assert on this value.
+const poisonEnabled = true
+
+// PoisonByte fills every recycled chunk under -tags failpoint.
+const PoisonByte = 0xDB
+
+func poisonBytes(p unsafe.Pointer, n uintptr) {
+	b := unsafe.Slice((*byte)(p), n)
+	for i := range b {
+		b[i] = PoisonByte
+	}
+}

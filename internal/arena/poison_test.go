@@ -1,0 +1,37 @@
+//go:build failpoint
+
+package arena
+
+import "testing"
+
+// TestPoisonOnRecycle: under -tags failpoint a recycled chunk is filled
+// with PoisonByte, so a use-after-release reads deterministic garbage;
+// the next Alloc from the pool re-zeroes the span it hands out.
+func TestPoisonOnRecycle(t *testing.T) {
+	a := New[uint64](4)
+	s := a.Alloc(32) // oversize → dedicated chunk, recycles on release
+	stale := s.Data()
+	for i := range stale {
+		stale[i] = uint64(i) + 1
+	}
+	s.Release()
+
+	const poisoned = 0xDBDBDBDBDBDBDBDB
+	for i, v := range stale {
+		if v != poisoned {
+			t.Fatalf("released slot %d = %#x, want poison %#x", i, v, uint64(poisoned))
+		}
+	}
+
+	// Reuse of the poisoned chunk must hand out zeroed memory again.
+	s2 := a.Alloc(32)
+	if a.Stats().Reuses != 1 {
+		t.Fatalf("expected pooled reuse, stats = %+v", a.Stats())
+	}
+	for i, v := range s2.Data() {
+		if v != 0 {
+			t.Fatalf("reused slot %d = %#x, want 0", i, v)
+		}
+	}
+	s2.Release()
+}

@@ -77,13 +77,13 @@ func TestRemoveRange(t *testing.T) {
 	all = append(all, 0, 1, ^uint64(0), ^uint64(0)-1)
 
 	windows := []struct{ lo, hi uint64 }{
-		{100, 100},                  // single key window
-		{0, 2999},                   // dense prefix of the grid
-		{1500, 0xDEAD_0000_0100},    // spans grid tail + cluster head
-		{0xDEAD_0000_0000, ^uint64(0)}, // everything from the cluster up
-		{5, 4},                      // inverted: no-op
+		{100, 100},                         // single key window
+		{0, 2999},                          // dense prefix of the grid
+		{1500, 0xDEAD_0000_0100},           // spans grid tail + cluster head
+		{0xDEAD_0000_0000, ^uint64(0)},     // everything from the cluster up
+		{5, 4},                             // inverted: no-op
 		{2999*3 + 1, 0xDEAD_0000_0000 - 1}, // likely-sparse middle band
-		{0, ^uint64(0)},             // full wipe
+		{0, ^uint64(0)},                    // full wipe
 	}
 
 	for wi, w := range windows {

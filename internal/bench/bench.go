@@ -99,6 +99,9 @@ type Result struct {
 	Mem       uintptr
 	Len       int
 	Stats     map[string]int64
+	// GC carries the collector telemetry captured across the measured
+	// window (see GCTelemetry); nil only for hand-built Results.
+	GC *GCTelemetry
 }
 
 // Run bulkloads a fresh index from factory and drives cfg's workload
@@ -175,10 +178,12 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 			achieved.Add(int64(n))
 		}(tid, ops)
 	}
+	gw := startGCWindow()
 	t0 := time.Now()
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	gc := gw.finish()
 	doneOps := int(achieved.Load())
 	// Drain any asynchronous maintenance (background retraining) so the
 	// memory/stats snapshot below is settled. Deliberately outside the
@@ -202,6 +207,7 @@ func Run(factory func() index.Concurrent, cfg Config) Result {
 		BuildTime: build,
 		Mem:       ix.MemoryUsage(),
 		Len:       ix.Len(),
+		GC:        gc,
 	}
 	if st, ok := ix.(index.Stats); ok {
 		res.Stats = st.StatsMap()

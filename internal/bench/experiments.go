@@ -102,6 +102,7 @@ func Experiments() []Experiment {
 		{"cacheline", "Cacheline: single-thread probe cost of the block layout (B=1, B=64, absent-key misses)", Cacheline},
 		{"retrain-tail", "Retrain tail: hot-write writer latency, async vs inline retraining", RetrainTail},
 		{"shard-scaling", "Shard scaling: CDF-partitioned front-end vs unsharded, threads x shards x datasets", ShardScaling},
+		{"large-scale", "Large tier: paper-scale per-dataset runs (read/balanced/hot-write) with GC telemetry", LargeScale},
 		{"ablation-retrain", "Ablation: ALT hot-write with retraining on/off", AblationRetrain},
 		{"ablation-gap", "Ablation: ALT gap factor sweep, balanced", AblationGap},
 		{"ablation-writeback", "Ablation: ALT write-back scheme on/off", AblationWriteback},
@@ -864,6 +865,68 @@ func ShardScaling(p Params) {
 		}
 		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\n",
 			f.Name, r.Mops, float64(r.Stats["shard_imbalance_x100"])/100, hot)
+	}
+	tw.Flush()
+}
+
+// --- large tier --------------------------------------------------------------
+
+// LargeScale is the paper-scale bench tier: SOSD-style per-dataset rows
+// (one table row per dataset x access pattern) at whatever -keys the
+// caller set — cmd/altbench's -tier large defaults it to 20M, and ≥50M
+// is an explicit -keys opt-in. Three rows per dataset:
+//
+//   - ALT-read: zipfian read-only — the GC-quiet floor; pauses here are
+//     pure heap-size cost (marking the resident index), so they expose
+//     the pointer-scan footprint of the slot storage.
+//   - ALT-balanced: the §IV balanced mix — steady allocation from both
+//     layers plus occasional retraining.
+//   - ALT-hotwrite: the Fig 8(b) reserved consecutive range, inserted
+//     hot — retraining churns whole model tables, which is precisely the
+//     allocation stream epoch-reclaimed arenas exist to recycle. This is
+//     the row where pre/post GC pause-per-second is compared.
+//
+// Every row prints the collector columns next to the throughput ones, so
+// the trade is read off one line; the JSON artifact (cmd/altbench -json)
+// carries the full GCTelemetry per row.
+func LargeScale(p Params) {
+	p = p.withDefaults()
+	header(p, "Large tier: paper-scale per-dataset runs with GC telemetry")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Row\tDataset\tMops\tP50us\tP99us\tGCs\tGCp50us\tGCp99us\tGCmaxus\tPause/s us\tHeapMB\tAllocMB/s\tScanMB")
+	emit := func(name string, r Result) {
+		r.Index = name
+		p.record(r)
+		g := r.GC
+		if g == nil {
+			g = &GCTelemetry{}
+		}
+		allocRate := 0.0
+		if s := r.Elapsed.Seconds(); s > 0 {
+			allocRate = float64(g.AllocBytes) / s / 1e6
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%s\t%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.0f\t%.0f\t%.0f\n",
+			name, r.Dataset, r.Mops, us(r.P50), us(r.P99),
+			g.Cycles, float64(g.PauseP50Ns)/1e3, float64(g.PauseP99Ns)/1e3,
+			float64(g.PauseMaxNs)/1e3, g.PausePerSecNs/1e3,
+			float64(g.HeapInuseBytes)/1e6, allocRate, float64(g.ScanBytes)/1e6)
+	}
+	for _, ds := range []dataset.Name{dataset.Libio, dataset.OSM} {
+		rows := []struct {
+			name string
+			cfg  Config
+		}{
+			{"ALT-read", Config{Dataset: ds, Keys: p.Keys, Mix: workload.ReadOnly,
+				Threads: p.Threads, Ops: p.Ops, Seed: p.Seed, Duration: p.Duration}},
+			{"ALT-balanced", Config{Dataset: ds, Keys: p.Keys, Mix: workload.Balanced,
+				Threads: p.Threads, Ops: p.Ops, Seed: p.Seed, Duration: p.Duration}},
+			{"ALT-hotwrite", Config{Dataset: ds, Keys: p.Keys, Mix: workload.WriteOnly,
+				Hot: true, Threads: p.Threads, Ops: p.Keys / 10, Seed: p.Seed,
+				Duration: p.Duration}},
+		}
+		for _, row := range rows {
+			emit(row.name, Run(ALT().New, row.cfg))
+		}
 	}
 	tw.Flush()
 }

@@ -298,6 +298,11 @@ func (tb *table) keySpan() (base, span uint64) {
 // still routes almost for free through the previous-model reuse check.
 // vals and found must be at least len(keys) long.
 func (t *ALT) GetBatch(keys []uint64, vals []uint64, found []bool) {
+	// One pin covers the whole batch (nested pins from the per-key
+	// fallbacks below are harmless); the loaded table's slot storage
+	// cannot be reclaimed while the chunks probe it.
+	eg := t.ebr.Pin()
+	defer eg.Unpin()
 	tab := t.tab.Load()
 	fpBatchReload.Inject()
 	if len(tab.models) == 0 {
@@ -470,6 +475,8 @@ func (t *ALT) GetBatch(keys []uint64, vals []uint64, found []bool) {
 // error the partially-applied prefix and the returned error reflect key
 // order, as the index.Batcher contract permits.
 func (t *ALT) InsertBatch(pairs []index.KV) error {
+	eg := t.ebr.Pin()
+	defer eg.Unpin()
 	tab := t.tab.Load()
 	fpBatchReload.Inject()
 	// Below insertBatchMin the permutation and grouping cannot pay for

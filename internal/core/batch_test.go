@@ -22,7 +22,7 @@ func TestLocateMatchesFind(t *testing.T) {
 		}
 		models := make([]*model, n)
 		for i := range models {
-			models[i] = emptyModel(firsts[i])
+			models[i] = emptyModel(nil, firsts[i])
 		}
 		tb := &table{firsts: firsts, models: models}
 

@@ -274,11 +274,12 @@ func runChaosWorkload(t *testing.T, cfg chaosConfig) (*ALT, map[uint64]uint64) {
 	close(stop)
 	readerWg.Wait()
 
-	for site := range cfg.specs {
-		failpoint.Disable(site)
-	}
 	// Drain the asynchronous retraining pipeline so the audit observes a
-	// settled index, not a mid-rebuild one.
+	// settled index, not a mid-rebuild one. The failpoints stay armed
+	// through the drain (the deferred DisableAll disarms them at return):
+	// on a small box the pipeline may only get scheduled once writers
+	// stop, so rebuild-side sites fire during Quiesce — disarming earlier
+	// would make mustFire miss exactly the runs it exists to prove.
 	idx.Quiesce()
 
 	// Merge expected state: bulkload baseline, then each writer's final
@@ -378,6 +379,34 @@ func TestChaosProtocol(t *testing.T) {
 			},
 			mustFire: []string{"core/retrain/splice"},
 			opts:     &Options{ErrorBound: 16, RetrainMinInserts: 192, RetrainWorkers: 4, RetrainQueue: 64},
+		},
+		{
+			// Epoch-reclamation race: every retirement stalls between the
+			// table publish and the span joining the limbo list, while
+			// publishes yield — readers pinned on the old table overlap
+			// maximally with limbo reclamation. Under -tags failpoint the
+			// arena poisons recycled chunks, so a premature reclaim is not
+			// a silent heap reuse but a deterministic 0xDB read the audit
+			// (lost writes, ghost keys) catches.
+			name: "epoch-reclaim-race",
+			specs: map[string]string{
+				"core/epoch/retire":    "delay(100us)",
+				"core/retrain/publish": "yield",
+			},
+			mustFire: []string{"core/epoch/retire"},
+			// A low trigger threshold forces many rebuilds (each retiring
+			// at least one span), so retirement and reader pins overlap
+			// throughout the run rather than once at the end.
+			opts: &Options{ErrorBound: 16, RetrainMinInserts: 32, RetrainWorkers: 4, RetrainQueue: 64},
+			check: func(t *testing.T, idx *ALT) {
+				es := idx.ebr.Stats()
+				if es.Reclaims == 0 {
+					t.Error("epoch scenario reclaimed nothing; retirement path did not run")
+				}
+				if es.LimboCount != 0 {
+					t.Errorf("limbo not drained after quiesce: %d items", es.LimboCount)
+				}
+			},
 		},
 	} {
 		t.Run(cfg.name, func(t *testing.T) {

@@ -59,7 +59,7 @@ func (t *ALT) trainInitial() {
 		}
 		t.eps = eps
 	}
-	boot := emptyModel(k0)
+	boot := emptyModel(t.blocks, k0)
 	boot.keyRef(0).Store(k0)
 	boot.valRef(0).Store(v0)
 	boot.metaRef(0).Store(slotOccupied)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"altindex/internal/arena"
 	"altindex/internal/gpl"
 )
 
@@ -53,7 +54,12 @@ type model struct {
 
 	// blocks is the interleaved slot storage; see slotBlock. Trailing
 	// lanes past nslots-1 in the last block stay permanently empty.
+	// It aliases span when the model was allocated from an arena: the
+	// memory then belongs to the arena and is recycled — not GC-freed —
+	// once the model is retired through the epoch domain, so the blocks
+	// must never be touched after ALT.retireModels has run on the model.
 	blocks []slotBlock
+	span   arena.Span[slotBlock]
 
 	// sc is the overflow fingerprint sidecar built from this model's
 	// build-time conflict evictions; nil when the build had none.
@@ -84,6 +90,14 @@ func allocBlocks(nslots int) []slotBlock {
 	return make([]slotBlock, (nslots+blockMask)>>blockShift)
 }
 
+// allocSlots points the model's block storage at a fresh arena span
+// sized for m.nslots. A nil arena degrades to a GC-owned slice (tests,
+// or indexes built without an arena), for which retirement is a no-op.
+func (m *model) allocSlots(ar *arena.Arena[slotBlock]) {
+	m.span = ar.Alloc((m.nslots + blockMask) >> blockShift)
+	m.blocks = m.span.Data()
+}
+
 // metaRef, keyRef and valRef resolve a slot's atomic words inside its
 // block. Simple enough to inline, so the hot paths pay only the index
 // arithmetic.
@@ -110,7 +124,7 @@ func (m *model) prefetch(s int) {
 // Keys whose predicted slot is already taken are returned as conflicts for
 // the ART-OPT layer, which is exactly what keeps the learned layer free of
 // prediction errors.
-func buildModel(keys, vals []uint64, seg gpl.Segment, gapFactor float64) (*model, []int) {
+func buildModel(ar *arena.Arena[slotBlock], keys, vals []uint64, seg gpl.Segment, gapFactor float64) (*model, []int) {
 	if gapFactor < 1 {
 		gapFactor = 1
 	}
@@ -125,7 +139,7 @@ func buildModel(keys, vals []uint64, seg gpl.Segment, gapFactor float64) (*model
 	if m.nslots < seg.N {
 		m.nslots = seg.N
 	}
-	m.blocks = allocBlocks(m.nslots)
+	m.allocSlots(ar)
 
 	var conflicts []int
 	for i := 0; i < seg.N; i++ {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"altindex/internal/arena"
 	"altindex/internal/gpl"
 )
 
@@ -327,7 +328,7 @@ func (t *ALT) rebuild(m *model, lo, end uint64) {
 	if len(candKeys) > 0 {
 		off := 0
 		for _, seg := range gpl.Partition(candKeys, t.eps) {
-			shells = append(shells, newShell(seg, candKeys[off+seg.N-1], gap))
+			shells = append(shells, newShell(t.blocks, seg, candKeys[off+seg.N-1], gap))
 			off += seg.N
 		}
 	}
@@ -350,7 +351,12 @@ func (t *ALT) rebuild(m *model, lo, end uint64) {
 	switch {
 	case len(keys) == 0:
 		// Keep an empty placeholder so the table still covers the range.
-		em := emptyModel(m.first)
+		// Pre-built shells (stale candidates that all vanished before the
+		// freeze) were never published, so their spans free directly.
+		for _, sh := range shells {
+			sh.span.Release()
+		}
+		em := emptyModel(t.blocks, m.first)
 		newModels = []*model{em}
 		newFirsts = []uint64{em.first}
 	case len(shells) == 0:
@@ -358,7 +364,7 @@ func (t *ALT) rebuild(m *model, lo, end uint64) {
 		// (tiny window): segment inside the freeze, the old way.
 		off := 0
 		for _, seg := range gpl.Partition(keys, t.eps) {
-			nm, conflicts := buildModel(keys[off:off+seg.N], vals[off:off+seg.N], seg, gap)
+			nm, conflicts := buildModel(t.blocks, keys[off:off+seg.N], vals[off:off+seg.N], seg, gap)
 			for _, ci := range conflicts {
 				t.tree.Put(keys[off+ci], vals[off+ci])
 			}
@@ -431,6 +437,13 @@ func (t *ALT) rebuild(m *model, lo, end uint64) {
 	freezeNs := time.Since(freezeStart).Nanoseconds()
 	r.publishMu.Unlock()
 
+	// The spliced-out models (the rebuilt one plus absorbed placeholders)
+	// are unreachable from the new table; retire their slot storage now
+	// that the replacement is published. Readers that loaded the old table
+	// are pinned in the current or previous epoch, and the domain frees
+	// nothing until they all move past it.
+	t.retireModels(cur.models[loIdx : hiIdx+1])
+
 	for _, a := range absorbed {
 		r.release(a.lo, a.hi)
 	}
@@ -471,7 +484,7 @@ func (t *ALT) absorbNeighbor(cur *table, i int, absorbed *[]keyRange) bool {
 // newShell allocates a model's slot arrays from a candidate segment
 // without placing any keys. last is the segment's largest candidate key;
 // exact keys above it simply clamp to the final slot and conflict-evict.
-func newShell(seg gpl.Segment, last uint64, gapFactor float64) *model {
+func newShell(ar *arena.Arena[slotBlock], seg gpl.Segment, last uint64, gapFactor float64) *model {
 	if gapFactor < 1 {
 		gapFactor = 1
 	}
@@ -481,7 +494,7 @@ func newShell(seg gpl.Segment, last uint64, gapFactor float64) *model {
 	if m.nslots < seg.N {
 		m.nslots = seg.N
 	}
-	m.blocks = allocBlocks(m.nslots)
+	m.allocSlots(ar)
 	return m
 }
 
@@ -521,7 +534,10 @@ func (t *ALT) fillShells(shells []*model, keys, vals []uint64) ([]*model, []uint
 			placed++
 		}
 		if placed == 0 {
-			continue // empty shell: neighbors' clamping covers its span
+			// Empty shell: neighbors' clamping covers its range. It was
+			// never published, so its storage frees without an epoch trip.
+			sh.span.Release()
+			continue
 		}
 		sh.sc = sc
 		sh.buildSize = placed
@@ -533,7 +549,7 @@ func (t *ALT) fillShells(shells []*model, keys, vals []uint64) ([]*model, []uint
 		// keep invariant 2: those ART keys need a non-empty predicted
 		// slot). Fall back to one exact model over the full key set.
 		seg := gpl.Segment{First: keys[0], N: len(keys), Slope: shells[0].slope}
-		nm, conflicts := buildModel(keys, vals, seg, 1)
+		nm, conflicts := buildModel(t.blocks, keys, vals, seg, 1)
 		for _, ci := range conflicts {
 			t.tree.Put(keys[ci], vals[ci])
 		}
@@ -544,10 +560,10 @@ func (t *ALT) fillShells(shells []*model, keys, vals []uint64) ([]*model, []uint
 
 // emptyModel returns a one-slot model covering first, used when a rebuilt
 // range holds no keys.
-func emptyModel(first uint64) *model {
+func emptyModel(ar *arena.Arena[slotBlock], first uint64) *model {
 	m := &model{first: first, slope: 1, nslots: 1, buildSize: 1}
 	m.fastIdx.Store(-1)
-	m.blocks = allocBlocks(1)
+	m.allocSlots(ar)
 	return m
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"altindex/internal/dataset"
+	"altindex/internal/gpl"
 )
 
 // TestRetrainRearmOnDrop is the regression test for the lost-trigger
@@ -26,7 +27,7 @@ func TestRetrainRearmOnDrop(t *testing.T) {
 	// wedge the queue with a decoy model that is not in the table. The
 	// accounting mirrors enqueueRetrain: armed + pending before the send.
 	alt.ret.once.Do(func() {})
-	decoy := emptyModel(0)
+	decoy := emptyModel(nil, 0)
 	decoy.retrainArmed.Store(true)
 	alt.ret.pending.Add(1)
 	alt.ret.q <- decoy
@@ -276,5 +277,147 @@ func TestShardRetrainGateBudget(t *testing.T) {
 	alts[1].Quiesce()
 	if len(gate) != 0 {
 		t.Fatalf("%d gate slots leaked after peer close", len(gate))
+	}
+}
+
+// TestMergeSortedEdgeCases pins the merge used by gather: one side empty
+// (both directions), duplicate keys across the inputs (the model copy —
+// stream a — must win), and interleaved runs with duplicates.
+func TestMergeSortedEdgeCases(t *testing.T) {
+	eq := func(got, want []uint64) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// One side empty.
+	k, v := mergeSorted(nil, nil, []uint64{1, 5, 9}, []uint64{10, 50, 90})
+	if !eq(k, []uint64{1, 5, 9}) || !eq(v, []uint64{10, 50, 90}) {
+		t.Fatalf("empty a: got %v %v", k, v)
+	}
+	k, v = mergeSorted([]uint64{2, 4}, []uint64{20, 40}, nil, nil)
+	if !eq(k, []uint64{2, 4}) || !eq(v, []uint64{20, 40}) {
+		t.Fatalf("empty b: got %v %v", k, v)
+	}
+	k, v = mergeSorted(nil, nil, nil, nil)
+	if len(k) != 0 || len(v) != 0 {
+		t.Fatalf("both empty: got %v %v", k, v)
+	}
+
+	// Duplicate keys: the a-side (model) value must win, once.
+	k, v = mergeSorted([]uint64{3, 7}, []uint64{300, 700}, []uint64{3, 7}, []uint64{301, 701})
+	if !eq(k, []uint64{3, 7}) || !eq(v, []uint64{300, 700}) {
+		t.Fatalf("all-dup: got %v %v", k, v)
+	}
+
+	// Interleaved with duplicates at the seams and in the middle.
+	k, v = mergeSorted(
+		[]uint64{1, 4, 6, 9}, []uint64{10, 40, 60, 90},
+		[]uint64{1, 2, 6, 8, 9}, []uint64{11, 21, 61, 81, 91})
+	if !eq(k, []uint64{1, 2, 4, 6, 8, 9}) || !eq(v, []uint64{10, 21, 40, 60, 81, 90}) {
+		t.Fatalf("interleaved: got %v %v", k, v)
+	}
+
+	// mergeSortedKeys: same dedup on bare key streams.
+	mk := mergeSortedKeys([]uint64{1, 3, 5}, []uint64{2, 3, 6})
+	if !eq(mk, []uint64{1, 2, 3, 5, 6}) {
+		t.Fatalf("mergeSortedKeys: got %v", mk)
+	}
+	if mk = mergeSortedKeys(nil, []uint64{7}); !eq(mk, []uint64{7}) {
+		t.Fatalf("mergeSortedKeys empty a: got %v", mk)
+	}
+	if mk = mergeSortedKeys([]uint64{8}, nil); !eq(mk, []uint64{8}) {
+		t.Fatalf("mergeSortedKeys empty b: got %v", mk)
+	}
+}
+
+// TestFillShellsExhaustedMidFill covers the shells-outlive-keys path: keys
+// that cover only the first shell's range must leave the trailing shells
+// dropped AND their never-published arena spans released on the spot.
+func TestFillShellsExhaustedMidFill(t *testing.T) {
+	alt := mustBulk(t, Options{ErrorBound: 16, DisableRetraining: true},
+		[]uint64{10, 20, 30})
+
+	before := alt.blocks.Stats().LiveBytes
+	shells := []*model{
+		newShell(alt.blocks, gpl.Segment{First: 100, N: 64, Slope: 0.1}, 999, 1.2),
+		newShell(alt.blocks, gpl.Segment{First: 1000, N: 64, Slope: 0.1}, 1999, 1.2),
+		newShell(alt.blocks, gpl.Segment{First: 2000, N: 64, Slope: 0.1}, 2999, 1.2),
+	}
+	var keys, vals []uint64
+	for i := uint64(0); i < 50; i++ {
+		keys = append(keys, 100+i*10) // all inside shell 0's range
+		vals = append(vals, i)
+	}
+	kept := shells[0]
+	models, firsts := alt.fillShells(shells, keys, vals)
+	if len(models) != 1 || models[0] != kept {
+		t.Fatalf("expected only the first shell to survive, got %d models", len(models))
+	}
+	if len(firsts) != 1 || firsts[0] != 100 {
+		t.Fatalf("firsts = %v, want [100]", firsts)
+	}
+	// The two dropped shells' spans must be back in the arena: live bytes
+	// grew by exactly the surviving shell's span.
+	after := alt.blocks.Stats().LiveBytes
+	wantGrowth := int64(kept.span.Bytes())
+	if after-before != wantGrowth {
+		t.Fatalf("arena live bytes grew by %d, want %d (dropped shells not released?)",
+			after-before, wantGrowth)
+	}
+	if models[0].buildSize != len(keys) {
+		t.Fatalf("buildSize = %d, want %d", models[0].buildSize, len(keys))
+	}
+}
+
+// TestFillShellsAllConflict covers the degenerate fallback: when every key
+// conflicts out of every shell (forced here by pre-occupying the slots),
+// fillShells must still return a non-empty model over the key set so
+// invariant 2 keeps holding for the ART-evicted keys.
+func TestFillShellsAllConflict(t *testing.T) {
+	alt := mustBulk(t, Options{ErrorBound: 16, DisableRetraining: true},
+		[]uint64{10, 20, 30})
+
+	sh := newShell(alt.blocks, gpl.Segment{First: 500, N: 32, Slope: 0.05}, 1500, 1)
+	for s := 0; s < sh.nslots; s++ {
+		sh.metaRef(s).Store(slotOccupied) // poison: every placement conflicts
+	}
+	var keys, vals []uint64
+	for i := uint64(0); i < 20; i++ {
+		keys = append(keys, 500+i*50)
+		vals = append(vals, i^0xF0)
+	}
+	treeBefore := alt.tree.Len()
+	models, firsts := alt.fillShells([]*model{sh}, keys, vals)
+	if len(models) != 1 || models[0] == sh {
+		t.Fatalf("fallback must build one fresh model, got %d (reused shell: %v)",
+			len(models), len(models) == 1 && models[0] == sh)
+	}
+	if firsts[0] != keys[0] {
+		t.Fatalf("fallback first = %d, want %d", firsts[0], keys[0])
+	}
+	if alt.tree.Len() <= treeBefore {
+		t.Fatal("conflicting keys were not evicted to ART")
+	}
+	// Every key must be resolvable through the fallback model or ART.
+	nm := models[0]
+	for i, k := range keys {
+		s := nm.slotOf(k)
+		mk := nm.keyRef(s).Load()
+		if nm.metaRef(s).Load()&slotOccupied != 0 && mk == k {
+			if nm.valRef(s).Load() != vals[i] {
+				t.Fatalf("model value for %d = %d, want %d", k, nm.valRef(s).Load(), vals[i])
+			}
+			continue
+		}
+		if v, ok := alt.tree.Get(k); !ok || v != vals[i] {
+			t.Fatalf("key %d lost in all-conflict fallback (tree: %d,%v)", k, v, ok)
+		}
 	}
 }

@@ -38,6 +38,11 @@ func (t *ALT) Scan(start uint64, n int, fn func(uint64, uint64) bool) int {
 	if n <= 0 {
 		return 0
 	}
+	// One pin covers the whole merge: collectLearned dereferences every
+	// model of the loaded table, so none of them may be reclaimed before
+	// the scan finishes. The Range iterator re-pins per batch.
+	g := t.ebr.Pin()
+	defer g.Unpin()
 	bufs := scanBufPool.Get().(*scanBufs)
 	defer putScanBufs(bufs)
 	for attempt := 0; ; attempt++ {

@@ -3,16 +3,24 @@ package memdb
 import (
 	"sync"
 	"sync/atomic"
+
+	marena "altindex/internal/arena"
 )
 
 // arena is an append-only chunked row store. A handle is a dense row id;
 // rows are immutable once written (updates allocate a new version), so
 // concurrent readers need no locks once they hold a handle. Freed versions
 // are recycled through a free list.
+//
+// Chunk storage comes from a shared internal/arena pool of pointer-free
+// uint64 spans: the collector never scans row data, and Vacuum's retired
+// generation returns its chunks to the pool for the next generation to
+// reuse instead of re-growing the heap.
 const arenaChunkRows = 4096
 
 type arena struct {
-	width int // uint64s per row
+	width int                   // uint64s per row
+	pool  *marena.Arena[uint64] // backing span allocator, shared across Vacuum generations
 
 	mu     sync.Mutex
 	chunkV atomic.Pointer[[]*chunk]
@@ -21,11 +29,19 @@ type arena struct {
 }
 
 type chunk struct {
-	rows []uint64 // arenaChunkRows * width
+	rows []uint64 // arenaChunkRows * width, aliases span
+	span marena.Span[uint64]
 }
 
 func newArena(width int) *arena {
-	a := &arena{width: width}
+	return newArenaOn(width, marena.New[uint64](arenaChunkRows*width))
+}
+
+// newArenaOn builds a row arena drawing chunks from an existing pool —
+// Vacuum uses it so the fresh generation recycles the chunks the retired
+// one releases.
+func newArenaOn(width int, pool *marena.Arena[uint64]) *arena {
+	a := &arena{width: width, pool: pool}
 	chunks := make([]*chunk, 0, 8)
 	a.chunkV.Store(&chunks)
 	return a
@@ -46,7 +62,8 @@ func (a *arena) alloc(row []uint64) uint64 {
 			grown := make([]*chunk, need)
 			copy(grown, chunks)
 			for i := len(chunks); i < need; i++ {
-				grown[i] = &chunk{rows: make([]uint64, arenaChunkRows*a.width)}
+				sp := a.pool.Alloc(arenaChunkRows * a.width)
+				grown[i] = &chunk{rows: sp.Data(), span: sp}
 			}
 			a.chunkV.Store(&grown)
 		}
@@ -73,6 +90,19 @@ func (a *arena) release(h uint64) {
 	a.mu.Lock()
 	a.free = append(a.free, h)
 	a.mu.Unlock()
+}
+
+// drop returns every chunk to the backing pool. Only legal under Vacuum's
+// quiescence contract: no reader may still resolve handles through this
+// generation, because the pool may hand the memory straight back out.
+func (a *arena) drop() {
+	chunks := *a.chunkV.Load()
+	for _, c := range chunks {
+		c.span.Release()
+		c.rows = nil
+	}
+	empty := make([]*chunk, 0)
+	a.chunkV.Store(&empty)
 }
 
 func (a *arena) chunks() int { return len(*a.chunkV.Load()) }

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"altindex/internal/arena"
 	"altindex/internal/core"
 	"altindex/internal/gpl"
 	"altindex/internal/index"
@@ -45,8 +46,13 @@ const parallelBulkMin = 1 << 16
 // scans, stats) by routing every operation to one of S core.ALT shards.
 // Create with New; safe for concurrent use after Bulkload.
 type ALT struct {
-	opts core.Options // per-shard options: Shards cleared, RetrainGate set
+	opts core.Options // per-shard options: Shards cleared, RetrainGate + Reclaim set
 	gate chan struct{}
+	// ebr is the reclamation domain shared by every shard (and every
+	// routing generation): one epoch clock for the whole index, so a
+	// reader pinned in any shard defers reclamation everywhere, and
+	// retired routers ride the same limbo lists as retired models.
+	ebr *arena.Domain
 	// fixed pins the boundaries across Bulkload (snapshot restore): the
 	// stored layout is reproduced instead of recomputing quantiles.
 	fixed bool
@@ -149,10 +155,15 @@ func newFront(opts core.Options) *ALT {
 	if gate == nil {
 		gate = make(chan struct{}, rebuildBudget())
 	}
+	dom := opts.Reclaim
+	if dom == nil {
+		dom = arena.NewDomain()
+	}
 	child := opts
 	child.Shards = 0
 	child.RetrainGate = gate
-	return &ALT{opts: child, gate: gate}
+	child.Reclaim = dom
+	return &ALT{opts: child, gate: gate, ebr: dom}
 }
 
 // newRouting builds a fresh routing table with len(bounds)+1 empty shards.
@@ -286,12 +297,19 @@ func (t *ALT) Bulkload(pairs []index.KV) error {
 		}
 	}
 
-	// Retire the previous generation's background machinery before the
-	// swap; Bulkload is pre-concurrency, so nothing routes through old.
-	for i := range old.shards {
-		_ = old.shards[i].ix.Close()
-	}
+	// Publish the new generation, then retire the old router onto the
+	// shared epoch domain: its shards' background machinery (and, through
+	// each shard's own retirement path, their slot-block arenas) is torn
+	// down only after every reader that could still hold the old routing
+	// pointer has unpinned. Bulkload is contractually pre-concurrency, so
+	// this usually frees on the spot — the limbo ride is the belt for the
+	// snapshot-reload and test harnesses that skate the contract's edge.
 	t.route.Store(nr)
+	t.ebr.Retire(0, func() {
+		for i := range old.shards {
+			_ = old.shards[i].ix.Close()
+		}
+	})
 	return nil
 }
 

@@ -11,12 +11,16 @@ Three modes:
   plus the speedup of every shard count over the unsharded (S0) run at
   the same thread count, and flags the max-thread speedups the
   acceptance gate reads.
-- summarize.py compare OLD.json NEW.json: diff two altbench -json
-  artifacts row by row — rows are keyed on (Experiment, Index, Dataset,
-  Mix, Threads) — printing ns/op and Mops for both sides, the Mops delta
-  percentage, and a REGRESSION flag on any row that slowed down by more
-  than the threshold (default 3%, override with a trailing percentage
-  argument). Exits 1 if any row regressed, so CI can gate on it.
+- summarize.py compare [--threshold N] OLD.json NEW.json: diff two
+  altbench -json artifacts row by row — rows are keyed on (Experiment,
+  Index, Dataset, Mix, Threads) — printing ns/op and Mops for both
+  sides, the Mops delta percentage, and a REGRESSION flag on any row
+  that slowed down by more than the threshold (default 3%; set with
+  --threshold, or the legacy trailing percentage argument). Rows
+  carrying GC telemetry (altbench -json always embeds it now) also get
+  pause-p99 and pause-time-per-second columns, so a GC win or loss is
+  visible in the same diff as the throughput. Exits 1 if any row
+  regressed, so CI can gate on it.
 """
 import json
 import re
@@ -119,23 +123,40 @@ def ns_per_op(run):
     return run.get("Elapsed", 0) / ops  # Elapsed is serialized in ns
 
 
+def gc_cols(run):
+    """Format a run's GC telemetry as (pause-p99 µs, pause ns per second)."""
+    gc = run.get("GC") or {}
+    p99 = gc.get("PauseP99Ns", 0) / 1e3
+    per_sec = gc.get("PausePerSecNs", 0.0)
+    return f"{p99:>8.1f} {per_sec:>9.0f}"
+
+
 def compare(old_path, new_path, threshold_pct=3.0):
     """Diff two BENCH_*.json artifacts; return the number of regressions.
 
     A row regresses when its throughput drops by more than threshold_pct.
     Rows present on only one side are listed but never flagged (a new
-    experiment is not a regression).
+    experiment is not a regression). GC pause columns are informational —
+    pauses on a quiet run are noisy enough that flagging them would cry
+    wolf; the gate stays on throughput.
     """
     old, new = load_rows(old_path), load_rows(new_path)
     shared = [k for k in old if k in new]
     if not shared:
         print(f"compare: no shared rows between {old_path} and {new_path}")
         return 0
+    has_gc = any(old[k].get("GC") or new[k].get("GC") for k in shared)
     width = max(len(" ".join(str(p) for p in k[:4])) for k in shared)
     print(f"== compare: {old_path} -> {new_path} (threshold {threshold_pct:.1f}%) ==")
+    gc_header = ""
+    if has_gc:
+        gc_header = (
+            f" {'o-p99us':>8s} {'o-gcns/s':>9s} {'n-p99us':>8s} {'n-gcns/s':>9s}"
+        )
     print(
         f"{'experiment index dataset mix':<{width}s} thr "
         f"{'old ns/op':>10s} {'new ns/op':>10s} {'old Mops':>9s} {'new Mops':>9s} {'delta':>8s}"
+        + gc_header
     )
     regressions = 0
     for k in sorted(shared):
@@ -148,10 +169,12 @@ def compare(old_path, new_path, threshold_pct=3.0):
         if delta < -threshold_pct:
             flag = "  REGRESSION"
             regressions += 1
+        gc_part = f" {gc_cols(o)} {gc_cols(n)}" if has_gc else ""
         print(
             f"{label:<{width}s} {k[4]:>3d} "
             f"{ns_per_op(o):>10.1f} {ns_per_op(n):>10.1f} "
-            f"{o.get('Mops', 0.0):>9.2f} {n.get('Mops', 0.0):>9.2f} {delta:>+7.1f}%{flag}"
+            f"{o.get('Mops', 0.0):>9.2f} {n.get('Mops', 0.0):>9.2f} {delta:>+7.1f}%"
+            f"{gc_part}{flag}"
         )
     for k in sorted(set(old) - set(new)):
         print(f"  only in {old_path}: {' '.join(str(p) for p in k)}")
@@ -164,10 +187,22 @@ def compare(old_path, new_path, threshold_pct=3.0):
 
 def main(*argv):
     if argv and argv[0] == "compare":
-        if len(argv) < 3:
-            sys.exit("usage: summarize.py compare OLD.json NEW.json [threshold%]")
-        threshold = float(argv[3]) if len(argv) > 3 else 3.0
-        sys.exit(1 if compare(argv[1], argv[2], threshold) else 0)
+        rest = list(argv[1:])
+        threshold = 3.0
+        if "--threshold" in rest:
+            i = rest.index("--threshold")
+            try:
+                threshold = float(rest[i + 1])
+            except (IndexError, ValueError):
+                sys.exit("summarize.py: --threshold needs a numeric percentage")
+            del rest[i : i + 2]
+        if len(rest) < 2:
+            sys.exit(
+                "usage: summarize.py compare [--threshold N] OLD.json NEW.json [threshold%]"
+            )
+        if len(rest) > 2:  # legacy trailing-positional threshold
+            threshold = float(rest[2])
+        sys.exit(1 if compare(rest[0], rest[1], threshold) else 0)
     path = argv[0] if argv else "results/experiments_raw.txt"
     if path.endswith(".json"):
         summarize_shards(path)
