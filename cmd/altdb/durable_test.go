@@ -1,0 +1,290 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"altindex/internal/failpoint"
+)
+
+// startDurable runs a server backed by a WAL directory; checkpoints are
+// driven explicitly by the tests (negative interval disables the loop).
+func startDurable(t *testing.T, dir string, cfg Config) (*Server, net.Addr) {
+	t.Helper()
+	cfg.WALDir = dir
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = -1
+	}
+	srv, err := NewServerWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { ln.Close() })
+	return srv, ln.Addr()
+}
+
+// TestDurableServerRecoversWrites: acked SET/MPUT/DEL survive shutdown
+// and a full restart, round-tripping through the WAL + checkpoint files.
+func TestDurableServerRecoversWrites(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startDurable(t, dir, Config{})
+	c := dial(t, addr)
+	for k := 1; k <= 200; k++ {
+		if got := c.cmd(t, fmt.Sprintf("SET %d %d", k, k*10)); got != "OK" {
+			t.Fatalf("SET %d = %q", k, got)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("MPUT")
+	for k := 201; k <= 260; k++ {
+		fmt.Fprintf(&sb, " %d %d", k, k*10)
+	}
+	if got := c.cmd(t, sb.String()); got != "OK 60" {
+		t.Fatalf("MPUT = %q", got)
+	}
+	for k := 1; k <= 200; k += 7 {
+		if got := c.cmd(t, fmt.Sprintf("DEL %d", k)); got != "OK" {
+			t.Fatalf("DEL %d = %q", k, got)
+		}
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, addr2 := startDurable(t, dir, Config{})
+	defer srv2.Shutdown()
+	c2 := dial(t, addr2)
+	for k := 1; k <= 260; k++ {
+		want := fmt.Sprintf("VALUE %d", k*10)
+		if k <= 200 && (k-1)%7 == 0 {
+			want = "NIL"
+		}
+		if got := c2.cmd(t, fmt.Sprintf("GET %d", k)); got != want {
+			t.Fatalf("after restart GET %d = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestDurableServerKillRecovery: a server killed without any shutdown
+// (listener dropped, WAL left mid-generation) recovers every acked write
+// from the log alone.
+func TestDurableServerKillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, addr := startDurable(t, dir, Config{})
+	c := dial(t, addr)
+	for k := 1; k <= 150; k++ {
+		if got := c.cmd(t, fmt.Sprintf("SET %d %d", k, k+7)); got != "OK" {
+			t.Fatalf("SET = %q", got)
+		}
+	}
+	// No Shutdown: simulate the process dying by abandoning the server.
+	// (The OS-level kill -9 version lives in the crash-matrix harness.)
+
+	srv2, addr2 := startDurable(t, dir, Config{})
+	defer srv2.Shutdown()
+	c2 := dial(t, addr2)
+	if got := c2.cmd(t, "LEN"); got != "VALUE 150" {
+		t.Fatalf("LEN after recovery = %q", got)
+	}
+	st := stats(t, c2)
+	if st["replayed_records"] != 150 {
+		t.Fatalf("replayed_records = %d, want 150", st["replayed_records"])
+	}
+}
+
+// TestDurableIncrementalCheckpoint: delta checkpoints truncate the log,
+// bound replay, and compaction collapses the chain into a fresh base.
+func TestDurableIncrementalCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startDurable(t, dir, Config{CheckpointMaxDeltas: 3})
+	c := dial(t, addr)
+	for round := 0; round < 3; round++ {
+		for k := 0; k < 50; k++ {
+			key := round*50 + k
+			if got := c.cmd(t, fmt.Sprintf("SET %d %d", key, key)); got != "OK" {
+				t.Fatalf("SET = %q", got)
+			}
+		}
+		if err := srv.dur.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := stats(t, c)
+	if st["checkpoint_deltas"] != 3 {
+		t.Fatalf("checkpoint_deltas = %d, want 3", st["checkpoint_deltas"])
+	}
+	// Fourth checkpoint hits MaxDeltas and compacts into generation 1.
+	if got := c.cmd(t, "SET 999 999"); got != "OK" {
+		t.Fatal(got)
+	}
+	if err := srv.dur.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st = stats(t, c)
+	if st["checkpoint_generation"] < 1 || st["checkpoint_deltas"] != 0 {
+		t.Fatalf("after compaction: generation=%d deltas=%d, want gen>=1 deltas=0",
+			st["checkpoint_generation"], st["checkpoint_deltas"])
+	}
+
+	// Kill (abandon) and recover: replay must cover only the tail after
+	// the compaction.
+	for k := 2000; k < 2010; k++ {
+		if got := c.cmd(t, fmt.Sprintf("SET %d 1", k)); got != "OK" {
+			t.Fatal(got)
+		}
+	}
+	srv2, addr2 := startDurable(t, dir, Config{})
+	defer srv2.Shutdown()
+	c2 := dial(t, addr2)
+	st2 := stats(t, c2)
+	if st2["replayed_records"] != 10 {
+		t.Fatalf("replayed_records after compaction = %d, want 10", st2["replayed_records"])
+	}
+	if got := c2.cmd(t, "LEN"); got != fmt.Sprintf("VALUE %d", 151+10) {
+		t.Fatalf("LEN = %q", got)
+	}
+	if got := c2.cmd(t, "GET 999"); got != "VALUE 999" {
+		t.Fatalf("GET 999 = %q", got)
+	}
+}
+
+// TestDurableStatsSurface: the STATS reply carries the durability
+// counters the operators (and the bench harness) read.
+func TestDurableStatsSurface(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startDurable(t, dir, Config{})
+	defer srv.Shutdown()
+	c := dial(t, addr)
+	for k := 0; k < 32; k++ {
+		c.cmd(t, fmt.Sprintf("SET %d %d", k, k))
+	}
+	st := stats(t, c)
+	for _, key := range []string{
+		"wal_appends", "wal_fsyncs", "wal_bytes",
+		"replayed_records", "truncated_tail_bytes", "last_checkpoint_age_s",
+	} {
+		if _, ok := st[key]; !ok {
+			t.Fatalf("STATS missing %q (got %v)", key, st)
+		}
+	}
+	if st["wal_appends"] != 32 {
+		t.Fatalf("wal_appends = %d, want 32", st["wal_appends"])
+	}
+	if st["wal_bytes"] <= 0 {
+		t.Fatal("wal_bytes not accounted")
+	}
+}
+
+// TestDurableExclusiveWithSnapshot: the two persistence modes cannot be
+// combined — misconfiguration is a startup error, not silent precedence.
+func TestDurableExclusiveWithSnapshot(t *testing.T) {
+	_, err := NewServerWith(Config{WALDir: t.TempDir(), SnapshotPath: "x.snap"})
+	if err == nil {
+		t.Fatal("WALDir+SnapshotPath accepted")
+	}
+}
+
+// TestDurableGroupCommit: 8 concurrent writers under SyncAlways commit
+// with measurably fewer fsyncs than appends — the group-commit effect.
+// The wal/sync failpoint stretches each fsync so writers provably queue
+// behind an in-flight group even when the host serializes the goroutines
+// (a loaded 1-vCPU box can otherwise run the writers back-to-back and
+// give every commit a private fsync).
+func TestDurableGroupCommit(t *testing.T) {
+	if err := failpoint.Enable("wal/sync", "delay(2ms)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("wal/sync")
+	dir := t.TempDir()
+	srv, addr := startDurable(t, dir, Config{WALSync: "always"})
+	defer srv.Shutdown()
+	const writers, per = 8, 100
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			conn, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			cl := clientOf(conn)
+			for i := 0; i < per; i++ {
+				k := w*per + i
+				if got, err := cl.cmdE(fmt.Sprintf("SET %d %d", k, k)); err != nil || got != "OK" {
+					errs <- fmt.Errorf("SET = %q, %v", got, err)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := dial(t, addr)
+	st := stats(t, c)
+	if st["wal_appends"] != writers*per {
+		t.Fatalf("wal_appends = %d, want %d", st["wal_appends"], writers*per)
+	}
+	if st["wal_fsyncs"] >= st["wal_appends"] {
+		t.Fatalf("no group commit: %d fsyncs for %d appends", st["wal_fsyncs"], st["wal_appends"])
+	}
+	t.Logf("group commit: %d appends amortized over %d fsyncs", st["wal_appends"], st["wal_fsyncs"])
+}
+
+// stats fetches and parses the STATS reply.
+func stats(t *testing.T, c *client) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	for _, line := range c.cmdMulti(t, "STATS") {
+		f := strings.Fields(line)
+		if len(f) != 3 || f[0] != "STAT" {
+			t.Fatalf("bad STATS line %q", line)
+		}
+		v, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[f[1]] = v
+	}
+	return out
+}
+
+// clientOf wraps a raw conn for goroutines that cannot call t.Fatal.
+func clientOf(conn net.Conn) *lineClient {
+	return &lineClient{conn: conn}
+}
+
+type lineClient struct {
+	conn net.Conn
+}
+
+func (c *lineClient) cmdE(line string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return "", err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	var out []byte
+	one := make([]byte, 1)
+	for {
+		if _, err := c.conn.Read(one); err != nil {
+			return "", err
+		}
+		if one[0] == '\n' {
+			return string(out), nil
+		}
+		out = append(out, one[0])
+	}
+}

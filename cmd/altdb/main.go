@@ -2,7 +2,9 @@
 // ALT-index underneath — a minimal "memory database system" in the paper's
 // sense, hardened for unattended operation: per-connection deadlines, a
 // connection cap with accept backpressure, per-connection panic containment,
-// crash-safe snapshots and graceful drain on SIGINT/SIGTERM.
+// graceful drain on SIGINT/SIGTERM, and (with -wal-dir) full durability:
+// group-committed write-ahead logging, incremental checkpoints and
+// crash recovery that preserves every acknowledged write.
 //
 // Protocol: one command per line, space-separated, replies are single
 // lines ("OK", "VALUE <v>", "NIL", "ERR <CODE> <detail>", or multi-line
@@ -18,7 +20,7 @@
 //	STATS                      engine internals
 //	QUIT
 //
-// Start with:  go run ./cmd/altdb -listen 127.0.0.1:7700 -snapshot db.snap
+// Start with:  go run ./cmd/altdb -listen 127.0.0.1:7700 -wal-dir ./data
 package main
 
 import (
@@ -28,29 +30,56 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
+
+	"altindex/internal/failpoint"
 )
 
 func main() {
 	var (
 		listen       = flag.String("listen", "127.0.0.1:7700", "address to listen on")
-		snapshot     = flag.String("snapshot", "", "snapshot file: loaded at startup, written on graceful shutdown")
+		snapshot     = flag.String("snapshot", "", "snapshot file: loaded at startup, written on graceful shutdown (legacy mode; prefer -wal-dir)")
 		maxConns     = flag.Int("max-conns", 256, "max concurrent connections (excess dials wait in the accept backlog)")
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-request read deadline")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
 		shards       = flag.Int("shards", 0, "range-partition the keyspace across this many index shards (0 = single instance)")
+		walDir       = flag.String("wal-dir", "", "durability directory: write-ahead log + incremental checkpoints; writes ack only after commit")
+		walSync      = flag.String("wal-sync", "always", "WAL commit point: always (fsync per group commit), interval, none")
+		walSegBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment size cap in bytes (0 = 64 MiB)")
+		ckptInterval = flag.Duration("checkpoint-interval", 0, "incremental checkpoint cadence (0 = 15s, negative disables)")
 	)
 	flag.Parse()
 
+	// ALTDB_FAILPOINTS arms fault-injection sites before anything touches
+	// disk: "site=spec[;site=spec...]", e.g. "wal/sync=2*off->kill". This is
+	// how the crash-matrix harness makes a child die at an exact durability
+	// edge.
+	if env := os.Getenv("ALTDB_FAILPOINTS"); env != "" {
+		for _, part := range strings.Split(env, ";") {
+			site, spec, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				log.Fatalf("event=bad_failpoint_env entry=%q", part)
+			}
+			if err := failpoint.Enable(site, spec); err != nil {
+				log.Fatalf("event=bad_failpoint_env entry=%q error=%q", part, err.Error())
+			}
+		}
+	}
+
 	srv, err := NewServerWith(Config{
-		MaxConns:     *maxConns,
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		DrainTimeout: *drainTimeout,
-		SnapshotPath: *snapshot,
-		Shards:       *shards,
+		MaxConns:           *maxConns,
+		ReadTimeout:        *readTimeout,
+		WriteTimeout:       *writeTimeout,
+		DrainTimeout:       *drainTimeout,
+		SnapshotPath:       *snapshot,
+		Shards:             *shards,
+		WALDir:             *walDir,
+		WALSync:            *walSync,
+		WALSegmentBytes:    *walSegBytes,
+		CheckpointInterval: *ckptInterval,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -74,8 +103,12 @@ func main() {
 		log.Fatal(err)
 	}
 	// Serve returned because the signal handler started Shutdown; wait for
-	// the drain and the shutdown snapshot to finish.
+	// the drain and the final checkpoint/snapshot to finish. A failed
+	// shutdown persistence pass means the on-disk state may lag the served
+	// state — report it structured and exit non-zero so supervisors and
+	// operators see it, instead of a silent success.
 	if err := <-shutdownErr; err != nil {
-		log.Printf("shutdown: %v", err)
+		log.Printf("event=shutdown_failed error=%q", err.Error())
+		os.Exit(1)
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"altindex"
 	"altindex/internal/failpoint"
+	"altindex/internal/wal"
 )
 
 // maxBatch caps the number of keys one MGET/MPUT request may carry.
@@ -66,6 +67,23 @@ type Config struct {
 	// the single-instance layout. A snapshot saved with a different shard
 	// count still loads: the pairs are remapped into the requested layout.
 	Shards int
+	// WALDir, when set, makes the keyspace durable: every write commits to
+	// a write-ahead log before it is acknowledged, incremental checkpoints
+	// bound recovery time, and startup recovers base + deltas + log.
+	// Mutually exclusive with SnapshotPath (one persistence mode).
+	WALDir string
+	// WALSync selects the commit point ("always" fsyncs before acking —
+	// survives power loss; "interval"/"none" ack after the write reaches
+	// the OS — survives process crashes, not power loss).
+	WALSync string
+	// WALSegmentBytes caps one WAL segment file (0 = 64 MiB default).
+	WALSegmentBytes int64
+	// CheckpointInterval is the incremental-checkpoint cadence (0 = 15s;
+	// negative disables the background loop).
+	CheckpointInterval time.Duration
+	// CheckpointMaxDeltas is the delta-chain length that triggers
+	// compaction into a fresh base (0 = 8).
+	CheckpointMaxDeltas int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +108,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	idx altindex.Index
+	dur *durableStore // non-nil when cfg.WALDir is set; owns idx's durability
 	sem chan struct{} // connection slots; acquired before Accept
 
 	mu    sync.Mutex
@@ -114,7 +133,31 @@ func NewServerWith(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	opts := altindex.Options{Shards: cfg.Shards}
 	idx := altindex.New(opts)
-	if cfg.SnapshotPath != "" {
+	var dur *durableStore
+	switch {
+	case cfg.WALDir != "" && cfg.SnapshotPath != "":
+		return nil, errors.New("altdb: -wal-dir and -snapshot are mutually exclusive persistence modes")
+	case cfg.WALDir != "":
+		sync := wal.SyncAlways
+		if cfg.WALSync != "" {
+			parsed, err := wal.ParseSyncPolicy(cfg.WALSync)
+			if err != nil {
+				return nil, err
+			}
+			sync = parsed
+		}
+		opened, err := openDurable(durableConfig{
+			Dir:                cfg.WALDir,
+			WAL:                wal.Options{Sync: sync, SegmentBytes: cfg.WALSegmentBytes},
+			CheckpointInterval: cfg.CheckpointInterval,
+			MaxDeltas:          cfg.CheckpointMaxDeltas,
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		dur = opened
+		idx = opened.idx
+	case cfg.SnapshotPath != "":
 		loaded, err := altindex.Load(cfg.SnapshotPath, opts)
 		switch {
 		case err == nil:
@@ -128,6 +171,7 @@ func NewServerWith(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:   cfg,
 		idx:   idx,
+		dur:   dur,
 		sem:   make(chan struct{}, cfg.MaxConns),
 		conns: map[net.Conn]struct{}{},
 		done:  make(chan struct{}),
@@ -197,7 +241,14 @@ func (s *Server) Shutdown() error {
 		err = fmt.Errorf("altdb: %d connections still draining after %v",
 			len(s.snapshotConns()), s.cfg.DrainTimeout)
 	}
-	if s.cfg.SnapshotPath != "" {
+	if s.dur != nil {
+		// Final full checkpoint + log close: every acknowledged write is
+		// already in the WAL, so even a failed checkpoint loses nothing —
+		// but a clean one makes the next start replay-free.
+		if derr := s.dur.Close(); derr != nil {
+			err = errors.Join(err, fmt.Errorf("altdb: shutdown checkpoint: %w", derr))
+		}
+	} else if s.cfg.SnapshotPath != "" {
 		// Writers are drained; settle any in-flight background retraining
 		// so the snapshot scan never has to wait out a freeze window.
 		s.idx.Quiesce()
@@ -206,6 +257,29 @@ func (s *Server) Shutdown() error {
 		}
 	}
 	return err
+}
+
+// put, del and mput route mutations through the durable store when one is
+// configured (ack after commit) and straight to the index otherwise.
+func (s *Server) put(k, v uint64) error {
+	if s.dur != nil {
+		return s.dur.Set(k, v)
+	}
+	return s.idx.Insert(k, v)
+}
+
+func (s *Server) del(k uint64) (bool, error) {
+	if s.dur != nil {
+		return s.dur.Del(k)
+	}
+	return s.idx.Remove(k), nil
+}
+
+func (s *Server) mput(pairs []altindex.KV) error {
+	if s.dur != nil {
+		return s.dur.Mput(pairs)
+	}
+	return s.idx.InsertBatch(pairs)
 }
 
 func (s *Server) snapshotConns() []net.Conn {
@@ -310,7 +384,7 @@ func (s *Server) dispatch(w *bufio.Writer, line string) {
 		if !ok {
 			return
 		}
-		if err := s.idx.Insert(k, v); err != nil {
+		if err := s.put(k, v); err != nil {
 			fmt.Fprintf(w, "ERR %s %v\n", errInternal, err)
 			return
 		}
@@ -381,7 +455,7 @@ func (s *Server) dispatch(w *bufio.Writer, line string) {
 			}
 			pairs[i/2] = altindex.KV{Key: k, Value: v}
 		}
-		if err := s.idx.InsertBatch(pairs); err != nil {
+		if err := s.mput(pairs); err != nil {
 			fmt.Fprintf(w, "ERR %s %v\n", errInternal, err)
 			return
 		}
@@ -395,7 +469,12 @@ func (s *Server) dispatch(w *bufio.Writer, line string) {
 		if !ok {
 			return
 		}
-		if s.idx.Remove(k) {
+		found, err := s.del(k)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s %v\n", errInternal, err)
+			return
+		}
+		if found {
 			fmt.Fprintln(w, "OK")
 		} else {
 			fmt.Fprintln(w, "NIL")
@@ -426,6 +505,11 @@ func (s *Server) dispatch(w *bufio.Writer, line string) {
 		fmt.Fprintf(w, "VALUE %d\n", s.idx.Len())
 	case "STATS":
 		st := s.idx.StatsMap()
+		if s.dur != nil {
+			for k, v := range s.dur.Stats() {
+				st[k] = v
+			}
+		}
 		keys := make([]string, 0, len(st))
 		for k := range st {
 			keys = append(keys, k)

@@ -1,0 +1,80 @@
+package altindex
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildV2Snapshot saves a sharded index (the ALTIX002 layout, with shard
+// boundaries prepended to the pair payload) and returns its bytes.
+func buildV2Snapshot(t *testing.T) []byte {
+	t.Helper()
+	idx := New(Options{Shards: 4})
+	defer func() {
+		if c, ok := idx.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}()
+	for k := uint64(0); k < 300; k++ {
+		if err := idx.Insert(k*97, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "v2.snap")
+	if err := Save(idx, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:8]) != "ALTIX002" {
+		t.Fatalf("sharded snapshot wrote magic %q, want ALTIX002", raw[:8])
+	}
+	return raw
+}
+
+// loadMutatedV2 writes a mutated snapshot and asserts Load rejects it
+// with ErrBadSnapshot, never a partially loaded index.
+func loadMutatedV2(t *testing.T, path string, raw []byte, what string) {
+	t.Helper()
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Load(path, Options{Shards: 4})
+	if err == nil {
+		t.Fatalf("%s: corrupt v2 snapshot loaded without error", what)
+	}
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("%s: got %v, want an error wrapping ErrBadSnapshot", what, err)
+	}
+	if idx != nil {
+		t.Fatalf("%s: Load returned a partially loaded index alongside its error", what)
+	}
+}
+
+// TestV2SnapshotTruncatedTailFuzz cuts the ALTIX002 file at every byte
+// offset and requires a clean ErrBadSnapshot each time.
+func TestV2SnapshotTruncatedTailFuzz(t *testing.T) {
+	raw := buildV2Snapshot(t)
+	path := filepath.Join(t.TempDir(), "cut.snap")
+	for n := 0; n < len(raw); n++ {
+		loadMutatedV2(t, path, raw[:n], "truncated")
+	}
+}
+
+// TestV2SnapshotBitFlipFuzz flips one bit in every byte — magic, shard
+// boundaries, pair payload, CRC footer — and requires each mutation to be
+// rejected rather than remapped into a silently different index.
+func TestV2SnapshotBitFlipFuzz(t *testing.T) {
+	raw := buildV2Snapshot(t)
+	path := filepath.Join(t.TempDir(), "flip.snap")
+	mut := make([]byte, len(raw))
+	for i := 0; i < len(raw); i++ {
+		copy(mut, raw)
+		mut[i] ^= 1 << (i % 8)
+		loadMutatedV2(t, path, mut, "bit-flipped")
+	}
+}

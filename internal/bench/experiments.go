@@ -106,6 +106,7 @@ func Experiments() []Experiment {
 		{"ablation-retrain", "Ablation: ALT hot-write with retraining on/off", AblationRetrain},
 		{"ablation-gap", "Ablation: ALT gap factor sweep, balanced", AblationGap},
 		{"ablation-writeback", "Ablation: ALT write-back scheme on/off", AblationWriteback},
+		{"wal-commit", "WAL group commit: commits/s vs fsyncs/s per sync policy x writers, plus replay speed", WALCommit},
 	}
 }
 

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"altindex/internal/wal"
+)
+
+// WALCommit is the durability-cost experiment: what group commit buys and
+// what each sync policy costs. For every sync policy × writer count cell,
+// concurrent writers Commit fixed-size records as fast as they can and
+// the table reports commits/s against fsyncs/s — under SyncAlways with
+// multiple writers, fsyncs/s must sit well below commits/s (many commits
+// amortized per group fsync), which is the group-commit claim. The final
+// section measures recovery: a log of p.Ops records is written, the
+// process state discarded, and Open+Replay timed — the recovery-time
+// budget that bounds how rarely an embedder may checkpoint.
+func WALCommit(p Params) {
+	p = p.withDefaults()
+	header(p, "WAL group commit: commits/s vs fsyncs/s per sync policy and writer count")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Policy\tWriters\tCommits\tCommits/s\tFsyncs\tFsyncs/s\tCommits/Fsync\tP50us\tP99us")
+
+	policies := []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNone}
+	writerCounts := []int{1, 2, 4, 8, 16}
+	payload := make([]byte, 64)
+	cellBudget := p.Ops / 20
+	if cellBudget < 2_000 {
+		cellBudget = 2_000
+	}
+	cellDeadline := 2 * time.Second
+	if p.Duration > 0 {
+		cellDeadline = p.Duration
+	}
+
+	for _, pol := range policies {
+		for _, writers := range writerCounts {
+			dir, err := os.MkdirTemp("", "walbench")
+			if err != nil {
+				panic(err)
+			}
+			l, err := wal.Open(dir, wal.Options{Sync: pol, Interval: 2 * time.Millisecond})
+			if err != nil {
+				panic(err)
+			}
+			perWriter := cellBudget / writers
+			lats := make([][]time.Duration, writers)
+			var wg sync.WaitGroup
+			deadline := time.Now().Add(cellDeadline)
+			t0 := time.Now()
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					lat := make([]time.Duration, 0, perWriter)
+					for i := 0; i < perWriter; i++ {
+						if i&63 == 0 && time.Now().After(deadline) {
+							break
+						}
+						s := time.Now()
+						if _, err := l.Commit(payload); err != nil {
+							panic(err)
+						}
+						lat = append(lat, time.Since(s))
+					}
+					lats[w] = lat
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(t0)
+			st := l.Stats()
+			l.Close()
+			os.RemoveAll(dir)
+
+			var all []time.Duration
+			for _, lat := range lats {
+				all = append(all, lat...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			commits := int64(len(all))
+			perFsync := float64(commits)
+			if st.Fsyncs > 0 {
+				perFsync = float64(commits) / float64(st.Fsyncs)
+			}
+			sec := elapsed.Seconds()
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%d\t%.0f\t%.1f\t%s\t%s\n",
+				pol, writers, commits, float64(commits)/sec,
+				st.Fsyncs, float64(st.Fsyncs)/sec, perFsync,
+				us(pctDur(all, 0.50)), us(pctDur(all, 0.99)))
+			p.record(Result{
+				Index: fmt.Sprintf("wal-%s", pol), Dataset: "wal", Mix: "commit",
+				Threads: writers, Ops: int(commits), Elapsed: elapsed,
+				Mops: float64(commits) / sec / 1e6,
+				P50:  pctDur(all, 0.50), P99: pctDur(all, 0.99), P999: pctDur(all, 0.999),
+				Stats: map[string]int64{"fsyncs": st.Fsyncs, "batches": st.Batches,
+					"bytes": st.Bytes},
+			})
+		}
+	}
+	tw.Flush()
+
+	// Recovery-time target: fill a log with p.Ops records, then time a cold
+	// Open (scan + CRC validation) and Replay of every record.
+	fmt.Fprintf(p.Out, "\n-- recovery: replaying a %d-record log --\n", p.Ops)
+	dir, err := os.MkdirTemp("", "walreplay")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < p.Ops; i++ {
+		if _, err := l.Append(payload); err != nil {
+			panic(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		panic(err)
+	}
+	t0 := time.Now()
+	l2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		panic(err)
+	}
+	n, err := l2.Replay(0, func(uint64, []byte) error { return nil })
+	if err != nil {
+		panic(err)
+	}
+	dt := time.Since(t0)
+	l2.Close()
+	fmt.Fprintf(p.Out, "replayed %d records in %.3fs (%.2f Mrec/s)\n",
+		n, dt.Seconds(), float64(n)/dt.Seconds()/1e6)
+	p.record(Result{
+		Index: "wal-replay", Dataset: "wal", Mix: "recovery",
+		Threads: 1, Ops: n, Elapsed: dt,
+		Mops: float64(n) / dt.Seconds() / 1e6,
+	})
+}
+
+// pctDur returns the q-quantile of a sorted duration slice.
+func pctDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -20,6 +20,11 @@
 //	error        InjectErr returns ErrInjected — simulates an I/O or
 //	             protocol failure (Inject ignores it)
 //	error(msg)   as error, with msg wrapped in the returned error
+//	kill         raises SIGKILL on the calling process — a real kill -9,
+//	             not a simulated one. Terminal by construction: the
+//	             external crash-matrix harness arms it in a child process
+//	             to die at an exact log/checkpoint edge, then restarts the
+//	             child and audits recovery. Never arm it in-process.
 //
 // A trailing N* count makes a term fire N hits then advance to the next
 // term; the final term, if it carries no count, repeats forever. When the
@@ -39,6 +44,7 @@ package failpoint
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -71,6 +77,7 @@ const (
 	actDelay
 	actPanic
 	actError
+	actKill
 )
 
 type term struct {
@@ -232,8 +239,23 @@ func (s *Site) eval(p *program) error {
 		panic("failpoint: " + s.name)
 	case actError:
 		return t.err
+	case actKill:
+		killSelf()
 	}
 	return nil
+}
+
+// killSelf delivers SIGKILL to the current process and then parks the
+// calling goroutine: SIGKILL cannot be caught, so the process is gone the
+// instant the kernel schedules the delivery, and nothing after the site
+// (an fsync, an ack, a rename) can run first — exactly the crash the
+// recovery audit needs to be placed before.
+func killSelf() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		_ = p.Kill()
+	}
+	select {}
 }
 
 // parseSpec compiles "term->term->..." into a term list.
@@ -285,10 +307,20 @@ func parseTerm(site, s string) (term, error) {
 		s = s[:i]
 	}
 	switch s {
-	case "off":
-		t.act = actOff
-	case "yield":
-		t.act = actYield
+	case "off", "yield", "panic", "kill":
+		if arg != "" {
+			return t, fmt.Errorf("failpoint: action %q takes no argument (got %q) for %q", s, arg, site)
+		}
+		switch s {
+		case "off":
+			t.act = actOff
+		case "yield":
+			t.act = actYield
+		case "panic":
+			t.act = actPanic
+		case "kill":
+			t.act = actKill
+		}
 	case "delay", "sleep":
 		d, err := time.ParseDuration(arg)
 		if err != nil || d < 0 {
@@ -296,8 +328,6 @@ func parseTerm(site, s string) (term, error) {
 		}
 		t.act = actDelay
 		t.delay = d
-	case "panic":
-		t.act = actPanic
 	case "error":
 		t.act = actError
 		if arg == "" {

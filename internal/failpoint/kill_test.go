@@ -1,0 +1,59 @@
+//go:build failpoint
+
+package failpoint_test
+
+import (
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+
+	"altindex/internal/failpoint"
+)
+
+// TestKillSpecParses covers the spec grammar side of the kill action: it
+// must parse standalone, with a countdown prefix, and chained — without
+// ever being evaluated in-process (evaluating it would kill the test run).
+func TestKillSpecParses(t *testing.T) {
+	defer failpoint.DisableAll()
+	failpoint.New("test/kill/parse")
+	for _, spec := range []string{"kill", "3*off->kill", "2*yield->kill", "50%kill"} {
+		if err := failpoint.Enable("test/kill/parse", spec); err != nil {
+			t.Fatalf("spec %q rejected: %v", spec, err)
+		}
+		failpoint.Disable("test/kill/parse")
+	}
+	if err := failpoint.Enable("test/kill/parse", "kill(now)"); err == nil {
+		t.Fatal("kill with an argument parsed; the action takes none")
+	}
+}
+
+// TestKillActionTerminatesProcess is the negative self-test for the kill
+// action: a child process that hits an armed kill site must die from
+// SIGKILL — not exit cleanly, not run the code after the site. The child
+// is this same test binary re-executed with an env marker.
+func TestKillActionTerminatesProcess(t *testing.T) {
+	if os.Getenv("FAILPOINT_KILL_CHILD") == "1" {
+		s := failpoint.New("test/kill/child")
+		if err := failpoint.Enable("test/kill/child", "1*off->kill"); err != nil {
+			os.Exit(3)
+		}
+		s.Inject() // first hit: off
+		s.Inject() // second hit: SIGKILL — nothing below may run
+		os.Exit(0)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run", "TestKillActionTerminatesProcess$")
+	cmd.Env = append(os.Environ(), "FAILPOINT_KILL_CHILD=1")
+	err := cmd.Run()
+	if err == nil {
+		t.Fatal("child with an armed kill site exited cleanly")
+	}
+	ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok {
+		t.Fatalf("no wait status for child: %v", err)
+	}
+	if !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child died with %v, want SIGKILL", err)
+	}
+}

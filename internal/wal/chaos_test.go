@@ -1,0 +1,166 @@
+//go:build failpoint
+
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"altindex/internal/failpoint"
+)
+
+// TestInjectedWriteFailureWedgesLog: an error injected at any commit-path
+// site must wedge the log — the failing commit and every later one return
+// an error, so the engine above can never ack a write whose record was
+// dropped. The records committed before the failure stay replayable.
+func TestInjectedWriteFailureWedgesLog(t *testing.T) {
+	for _, site := range []string{"wal/append", "wal/sync"} {
+		t.Run(site, func(t *testing.T) {
+			defer failpoint.DisableAll()
+			dir := t.TempDir()
+			l := openT(t, dir, Options{Sync: SyncAlways})
+			for i := 0; i < 10; i++ {
+				if _, err := l.Commit([]byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := failpoint.Enable(site, "error(disk gone)"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Commit([]byte("doomed")); err == nil {
+				t.Fatal("commit succeeded across an injected write failure")
+			}
+			failpoint.Disable(site)
+			if _, err := l.Commit([]byte("after")); err == nil {
+				t.Fatal("wedged log accepted a new commit")
+			}
+			l.Close()
+
+			l2 := openT(t, dir, Options{})
+			defer l2.Close()
+			n, err := l2.Replay(0, func(seq uint64, p []byte) error {
+				if seq <= 10 && len(p) != 1 {
+					return fmt.Errorf("prefix record %d corrupted", seq)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n < 10 {
+				t.Fatalf("pre-failure records lost: %d/10 replayed", n)
+			}
+		})
+	}
+}
+
+// TestInjectedRotateFailure: a rotation that fails mid-way wedges the log
+// rather than splitting history across a half-created segment.
+func TestInjectedRotateFailure(t *testing.T) {
+	defer failpoint.DisableAll()
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentBytes: 128})
+	if err := failpoint.Enable("wal/rotate", "2*off->error(rotate died)"); err != nil {
+		t.Fatal(err)
+	}
+	// Keep committing until the rotation site trips (Open consumed no
+	// rotate hits; the first in-flight rotation is hit #2).
+	var failedAt int
+	for i := 0; i < 100; i++ {
+		if _, err := l.Commit(bytes.Repeat([]byte{2}, 60)); err != nil {
+			failedAt = i
+			break
+		}
+	}
+	if failedAt == 0 {
+		t.Fatal("rotation failure never surfaced")
+	}
+	if _, err := l.Commit([]byte("after")); err == nil {
+		t.Fatal("wedged log accepted a commit after rotate failure")
+	}
+	l.Close()
+	failpoint.DisableAll()
+
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	n, err := l2.Replay(0, func(uint64, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < failedAt {
+		t.Fatalf("replay found %d records, %d were acked before the failure", n, failedAt)
+	}
+}
+
+// TestInjectedTruncateFailure: a truncation interrupted between segment
+// deletions leaves a clean prefix-removed state that reopens fine.
+func TestInjectedTruncateFailure(t *testing.T) {
+	defer failpoint.DisableAll()
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentBytes: 128})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := l.Commit(bytes.Repeat([]byte{3}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 4 {
+		t.Fatalf("need ≥4 segments, have %d", l.Stats().Segments)
+	}
+	if err := failpoint.Enable("wal/truncate", "1*off->error(truncate died)"); err != nil {
+		t.Fatal(err)
+	}
+	err := l.TruncateBelow(uint64(n))
+	failpoint.Disable("wal/truncate")
+	if err == nil {
+		t.Fatal("injected truncate failure not surfaced")
+	}
+	l.Close()
+
+	// The partially truncated log still reopens and replays its suffix —
+	// the audit invariant is only that no live record disappeared.
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	last := uint64(0)
+	if _, err := l2.Replay(0, func(seq uint64, _ []byte) error {
+		last = seq
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if last != n {
+		t.Fatalf("newest record after torn truncation = %d, want %d", last, n)
+	}
+}
+
+// TestWedgeUnblocksConcurrentWaiters: writers parked in WaitDurable when
+// the disk dies must all wake with the error instead of hanging.
+func TestWedgeUnblocksConcurrentWaiters(t *testing.T) {
+	defer failpoint.DisableAll()
+	l := openT(t, t.TempDir(), Options{Sync: SyncAlways})
+	defer l.Close()
+	if err := failpoint.Enable("wal/sync", "error(dead disk)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = l.Commit([]byte{byte(i)})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("writer %d was acked by a wedged log", i)
+		}
+		if !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("writer %d got %v, want the injected failure", i, err)
+		}
+	}
+}
