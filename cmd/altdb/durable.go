@@ -16,6 +16,7 @@ import (
 
 	"altindex"
 	"altindex/internal/failpoint"
+	"altindex/internal/shard"
 	"altindex/internal/snapio"
 	"altindex/internal/wal"
 )
@@ -94,6 +95,15 @@ type ckptMeta struct {
 	Generation int    `json:"generation"` // 0 = no base file yet
 	Deltas     int    `json:"deltas"`     // delta files in this generation
 	LSN        uint64 `json:"lsn"`        // state covers all records <= LSN
+
+	// Bounds is the sharded index's boundary layout at checkpoint time
+	// (empty for unsharded layouts). The altdb redo log carries only data
+	// records, so without this a delta-only recovery would rebuild the
+	// index at its configured boundaries and throw away whatever layout
+	// the rebalance controller had converged to. Base snapshots carry the
+	// layout themselves (ALTIX002); the meta copy covers the gap and may
+	// be fresher than the base.
+	Bounds []uint64 `json:"bounds,omitempty"`
 }
 
 // durableStore wraps the server's index with a write-ahead log and the
@@ -175,6 +185,18 @@ func openDurable(cfg durableConfig, opts altindex.Options) (*durableStore, error
 				n, meta.Generation, err)
 		}
 	}
+	// Reproduce the checkpointed boundary layout before replaying the log
+	// tail, so replayed writes land in their final shards. A base loaded
+	// above usually carries these bounds already (the equality check makes
+	// that a no-op); a server restarted unsharded skips it — the data is
+	// unaffected either way.
+	if len(meta.Bounds) > 0 {
+		if sh, ok := idx.(*shard.ALT); ok && !slicesEqualU64(sh.Bounds(), meta.Bounds) {
+			if err := sh.SetBounds(meta.Bounds); err != nil {
+				return nil, fmt.Errorf("altdb: recovery: checkpointed shard bounds: %w", err)
+			}
+		}
+	}
 	wlog, err := wal.Open(filepath.Join(cfg.Dir, "wal"), cfg.WAL)
 	if err != nil {
 		return nil, err
@@ -213,6 +235,27 @@ func gcStaleTemps(dir string) {
 			os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
+}
+
+// indexBounds reports a sharded index's current boundary layout, nil for
+// unsharded layouts.
+func indexBounds(ix altindex.Index) []uint64 {
+	if sh, ok := ix.(*shard.ALT); ok {
+		return sh.Bounds()
+	}
+	return nil
+}
+
+func slicesEqualU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func basePath(dir string, gen int) string {
@@ -465,7 +508,7 @@ func (d *durableStore) deltaLocked() error {
 	if err := fpCkptPublish.InjectErr(); err != nil {
 		return err
 	}
-	if err := d.writeMeta(ckptMeta{Generation: d.gen, Deltas: d.deltas, LSN: lsn}); err != nil {
+	if err := d.writeMeta(ckptMeta{Generation: d.gen, Deltas: d.deltas, LSN: lsn, Bounds: indexBounds(d.idx)}); err != nil {
 		return err
 	}
 	d.lastCkpt.Store(time.Now().Unix())
@@ -490,7 +533,7 @@ func (d *durableStore) compactLocked() error {
 	if err := fpCkptPublish.InjectErr(); err != nil {
 		return err
 	}
-	if err := d.writeMeta(ckptMeta{Generation: newGen, Deltas: 0, LSN: lsn}); err != nil {
+	if err := d.writeMeta(ckptMeta{Generation: newGen, Deltas: 0, LSN: lsn, Bounds: indexBounds(d.idx)}); err != nil {
 		return err
 	}
 	oldGen, oldDeltas := d.gen, d.deltas

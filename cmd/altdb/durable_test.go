@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"altindex/internal/failpoint"
+	"altindex/internal/shard"
 )
 
 // startDurable runs a server backed by a WAL directory; checkpoints are
@@ -286,5 +287,58 @@ func (c *lineClient) cmdE(line string) (string, error) {
 			return string(out), nil
 		}
 		out = append(out, one[0])
+	}
+}
+
+// TestDurableRebalancedLayoutRecovery: a boundary layout the rebalance
+// controller converged to survives a kill even when recovery runs from
+// delta checkpoints alone (no base snapshot). The altdb redo log carries
+// only data records, so the layout rides in the checkpoint meta.
+func TestDurableRebalancedLayoutRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startDurable(t, dir, Config{Shards: 4})
+	c := dial(t, addr)
+	for k := 1; k <= 400; k++ {
+		if got := c.cmd(t, fmt.Sprintf("SET %d %d", k, k*3)); got != "OK" {
+			t.Fatalf("SET = %q", got)
+		}
+	}
+	// Reshape the layout the way the controller would (SetBounds is the
+	// same migration path splits and merges use).
+	sh, ok := srv.dur.idx.(*shard.ALT)
+	if !ok {
+		t.Fatalf("sharded config built %T", srv.dur.idx)
+	}
+	want := []uint64{100, 200, 300, 350, 380}
+	if err := sh.SetBounds(want); err != nil {
+		t.Fatal(err)
+	}
+	// Delta checkpoint only: generation stays 0, so recovery cannot get
+	// the layout from a base snapshot.
+	if err := srv.dur.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := stats(t, c)
+	if st["checkpoint_generation"] != 0 {
+		t.Fatalf("checkpoint_generation = %d, want 0", st["checkpoint_generation"])
+	}
+	// Abandon the server (no Shutdown) and recover.
+	srv2, addr2 := startDurable(t, dir, Config{Shards: 4})
+	defer srv2.Shutdown()
+	c2 := dial(t, addr2)
+	if got := c2.cmd(t, "LEN"); got != "VALUE 400" {
+		t.Fatalf("LEN after recovery = %q", got)
+	}
+	sh2, ok := srv2.dur.idx.(*shard.ALT)
+	if !ok {
+		t.Fatalf("recovered index is %T", srv2.dur.idx)
+	}
+	if got := sh2.Bounds(); !slicesEqualU64(got, want) {
+		t.Fatalf("recovered bounds = %v, want %v", got, want)
+	}
+	for k := 1; k <= 400; k += 13 {
+		if got := c2.cmd(t, fmt.Sprintf("GET %d", k)); got != fmt.Sprintf("VALUE %d", k*3) {
+			t.Fatalf("GET %d = %q after layout recovery", k, got)
+		}
 	}
 }

@@ -46,6 +46,8 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
 		shards       = flag.Int("shards", 0, "range-partition the keyspace across this many index shards (0 = single instance)")
+		rebFactor    = flag.Float64("rebalance-factor", 0, "adaptive shard rebalancing: split/merge online when max/mean routed-op imbalance exceeds this factor (0 disables; needs -shards > 1)")
+		rebInterval  = flag.Duration("rebalance-interval", 0, "rebalancer evaluation cadence (0 = 500ms)")
 		walDir       = flag.String("wal-dir", "", "durability directory: write-ahead log + incremental checkpoints; writes ack only after commit")
 		walSync      = flag.String("wal-sync", "always", "WAL commit point: always (fsync per group commit), interval, none")
 		walSegBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment size cap in bytes (0 = 64 MiB)")
@@ -76,6 +78,8 @@ func main() {
 		DrainTimeout:       *drainTimeout,
 		SnapshotPath:       *snapshot,
 		Shards:             *shards,
+		RebalanceFactor:    *rebFactor,
+		RebalanceInterval:  *rebInterval,
 		WALDir:             *walDir,
 		WALSync:            *walSync,
 		WALSegmentBytes:    *walSegBytes,

@@ -64,9 +64,20 @@ type Config struct {
 	SnapshotPath string
 	// Shards range-partitions the keyspace across this many independent
 	// index shards behind a learned boundary router. Zero (or one) keeps
-	// the single-instance layout. A snapshot saved with a different shard
-	// count still loads: the pairs are remapped into the requested layout.
+	// the single-instance layout. A sharded snapshot restores its saved
+	// boundary layout exactly (rebalanced layouts included); an unsharded
+	// one is remapped into the requested layout.
 	Shards int
+	// RebalanceFactor arms the adaptive shard rebalancer (sharded layouts
+	// only): when the max/mean routed-op imbalance stays above this factor
+	// the hot shard is split at a learned CDF boundary (or cold shards
+	// merged) online, without stopping reads. Zero disables. Progress is
+	// visible in STATS as rebalance_splits/rebalance_merges/
+	// rebalance_moved_keys/rebalance_last_ms.
+	RebalanceFactor float64
+	// RebalanceInterval overrides the rebalancer's evaluation cadence
+	// (0 = 500ms default).
+	RebalanceInterval time.Duration
 	// WALDir, when set, makes the keyspace durable: every write commits to
 	// a write-ahead log before it is acknowledged, incremental checkpoints
 	// bound recovery time, and startup recovers base + deltas + log.
@@ -131,7 +142,11 @@ func NewServer() (*Server, error) {
 // (refusing to serve silently-empty data), a missing one starts fresh.
 func NewServerWith(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	opts := altindex.Options{Shards: cfg.Shards}
+	opts := altindex.Options{
+		Shards:            cfg.Shards,
+		RebalanceFactor:   cfg.RebalanceFactor,
+		RebalanceInterval: cfg.RebalanceInterval,
+	}
 	idx := altindex.New(opts)
 	var dur *durableStore
 	switch {

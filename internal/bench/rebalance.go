@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"altindex/internal/core"
+	"altindex/internal/dataset"
+	"altindex/internal/index"
+	"altindex/internal/shard"
+	"altindex/internal/workload"
+)
+
+// rebalanceOpts is the controller configuration the adaptive variants
+// run with. Factor 2.0 sits above the windowed max/mean imbalance a
+// scrambled Zipf (θ=0.99) produces naturally (~1.5, dominated by the
+// single hottest key's shard), so the uniform control stays idle, while
+// a 90/10 hot range (max/mean ≈ 7) crosses it in every window.
+func rebalanceOpts() core.Options {
+	return core.Options{
+		RebalanceFactor:   2.0,
+		RebalanceInterval: 50 * time.Millisecond,
+		RebalanceWindows:  2,
+		RebalanceMinOps:   8192,
+	}
+}
+
+// staleBounds computes the "yesterday's layout" boundary set: equal-depth
+// quantiles over only the lowest eighth of the key population. It models
+// the canonical growth pattern that defeats a static partition — the data
+// grew 8x past the last boundary (auto-increment ids, timestamps), so the
+// top shard holds ~7/8 of the keys while the lower shards split hairs;
+// the index effectively degenerates to unsharded.
+func staleBounds(keys []uint64, shards int) []uint64 {
+	s := append([]uint64(nil), keys...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	frac := s[:len(s)/8]
+	bounds := make([]uint64, shards-1)
+	for i := 1; i < shards; i++ {
+		bounds[i-1] = frac[i*len(frac)/shards]
+	}
+	return bounds
+}
+
+// altStale is ALTSharded with the shard boundaries pinned to a stale
+// layout instead of the bulkload sample's quantiles.
+func altStale(name string, shards int, opts core.Options, bounds []uint64) NamedFactory {
+	opts.Shards = shards
+	return NamedFactory{name, func() index.Concurrent {
+		ix, err := shard.NewWithBounds(opts, bounds)
+		if err != nil {
+			panic(fmt.Sprintf("bench: stale bounds: %v", err))
+		}
+		return ix
+	}}
+}
+
+// Rebalance measures what closing the skew-monitor loop buys: a 90/10
+// hotspot whose hot range jumps to a new position several times mid-run,
+// driven against an 8-shard index with static boundaries and against the
+// same index with the adaptive split/merge controller armed.
+//
+// Three legs:
+//
+//   - moving hotspot over the stock equal-depth layout (the ISSUE's
+//     headline row): the controller re-splits the hot range online and
+//     merges the fine shards it abandons after each jump;
+//   - the same hotspot over a stale layout (boundaries computed when the
+//     data was an eighth of its size — everything above the old max key
+//     piles into the top shard, degenerating to unsharded): the recovery
+//     case, where the controller has a genuinely bad partition to fix;
+//   - a uniform (Zipfian, no hotspot) control, where the controller must
+//     stay idle and cost nothing.
+//
+// On multi-core hosts the static hot rows collapse onto one shard's
+// cores while the rest idle, which is the degradation the ≥1.5× target
+// in ISSUE 8 is written against; on a 1-vCPU host there is no cross-core
+// contention to relieve, so the headline gap compresses to the per-shard
+// ε effect (see results/rebalance.txt for the measured caveat).
+func Rebalance(p Params) {
+	p = p.withDefaults()
+	header(p, "Adaptive rebalancing: moving 90/10 hotspot, split/merge controller vs static boundaries")
+
+	const shards = 8
+	// 90% reads / 10% writes, with the hotspot distribution steering both
+	// (writes upsert hot keys), so the hot shard takes read and write
+	// pressure at once.
+	hotMix := workload.Mix{Name: "hot-90/10", Get: 90, Insert: 10}
+	// A couple of mid-run jumps of the hot range (per-stream schedule), so
+	// the run's aggregate throughput reflects re-adaptation, not one lucky
+	// initial split — while leaving each phase long enough that a
+	// migration's cost amortizes over the traffic it serves. Time-bounded
+	// runs can't derive the schedule from an op budget, so they use a
+	// fixed per-stream stride instead.
+	shift := int64(600_000)
+	if p.Duration == 0 {
+		shift = int64(p.Ops / p.Threads / 4)
+		if shift < 20000 {
+			shift = 20000
+		}
+	}
+	hs := &workload.Hotspot{Fraction: 0.1, OpFrac: 0.9, ShiftEvery: shift}
+
+	datasets := []dataset.Name{dataset.Libio, dataset.OSM}
+
+	median := func(f NamedFactory, cfg Config) Result {
+		const reps = 3
+		runs := make([]Result, 0, reps)
+		for rep := 0; rep < reps; rep++ {
+			c := cfg
+			c.Seed = p.Seed + uint64(rep)
+			runs = append(runs, Run(f.New, c))
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Mops < runs[j].Mops })
+		r := runs[1]
+		r.Index = f.Name
+		p.record(r)
+		return r
+	}
+
+	row := func(tw *tabwriter.Writer, f NamedFactory, cfg Config) Result {
+		r := median(f, cfg)
+		imbal := "-"
+		if val, ok := r.Stats["shard_imbalance_x100"]; ok {
+			imbal = fmt.Sprintf("%.2f", float64(val)/100)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			f.Name, cfg.Dataset, r.Mops, us(r.P50), us(r.P99), us(r.P999),
+			r.Stats["shards"], r.Stats["rebalance_splits"],
+			r.Stats["rebalance_merges"], r.Stats["rebalance_moved_keys"], imbal)
+		return r
+	}
+
+	hotCfg := func(ds dataset.Name) Config {
+		return Config{Dataset: ds, Keys: p.Keys, Mix: hotMix, Hotspot: hs,
+			Threads: p.Threads, Ops: p.Ops, Duration: p.Duration}
+	}
+
+	// Leg 1: moving hotspot over the stock equal-depth layout.
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Variant\tDataset\tMops\tP50us\tP99us\tP99.9us\tShards\tSplits\tMerges\tMovedKeys\tImbal")
+	mops := map[dataset.Name]map[string]float64{}
+	for _, ds := range datasets {
+		mops[ds] = map[string]float64{}
+		for _, v := range []struct {
+			name string
+			opts core.Options
+		}{{"ALT-S8-static", core.Options{}}, {"ALT-S8-adaptive", rebalanceOpts()}} {
+			r := row(tw, ALTSharded(v.name+"-hot", shards, v.opts), hotCfg(ds))
+			mops[ds][v.name] = r.Mops
+		}
+	}
+	tw.Flush()
+
+	fmt.Fprintf(p.Out, "\n-- adaptive vs static, moving 90/10 hotspot at %d threads --\n", p.Threads)
+	tw = newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tStatic\tAdaptive\tSpeedup")
+	for _, ds := range datasets {
+		st, ad := mops[ds]["ALT-S8-static"], mops[ds]["ALT-S8-adaptive"]
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2fx\n", ds, st, ad, ad/st)
+	}
+	tw.Flush()
+
+	// Leg 2: the same hotspot over a stale partition (boundaries frozen
+	// when the data was an eighth of its size). The static run is stuck
+	// with ~7/8 of the keys in the top shard; the adaptive run splits its
+	// way out.
+	fmt.Fprintf(p.Out, "\n-- stale-boundary recovery: layout frozen at 1/8 of the data --\n")
+	tw = newTable(p.Out)
+	fmt.Fprintln(tw, "Variant\tDataset\tMops\tP50us\tP99us\tP99.9us\tShards\tSplits\tMerges\tMovedKeys\tImbal")
+	stale := map[dataset.Name]map[string]float64{}
+	for _, ds := range datasets {
+		stale[ds] = map[string]float64{}
+		bounds := staleBounds(dataset.Generate(ds, p.Keys, p.Seed), shards)
+		for _, v := range []struct {
+			name string
+			opts core.Options
+		}{{"ALT-S8-stale-static", core.Options{}}, {"ALT-S8-stale-adaptive", rebalanceOpts()}} {
+			r := row(tw, altStale(v.name, shards, v.opts, bounds), hotCfg(ds))
+			stale[ds][v.name] = r.Mops
+		}
+	}
+	tw.Flush()
+	tw = newTable(p.Out)
+	fmt.Fprintln(tw, "Dataset\tStatic\tAdaptive\tSpeedup")
+	for _, ds := range datasets {
+		st, ad := stale[ds]["ALT-S8-stale-static"], stale[ds]["ALT-S8-stale-adaptive"]
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2fx\n", ds, st, ad, ad/st)
+	}
+	tw.Flush()
+
+	// Leg 3: no-regression control — the same variants under the uniform
+	// Zipfian read mix. With nothing to rebalance the controller must
+	// stay idle (factor/minOps gate) and the delta should be noise. The
+	// mix is read-only on purpose: a timed write-heavy run exhausts the
+	// pending insert keys and the streams then synthesise keys above the
+	// dataset maximum — a genuine append-only skew on the top shard
+	// (windowed max/mean ≈ 4.6 measured) that the controller would be
+	// right to split, which is adaptation, not a control.
+	fmt.Fprintf(p.Out, "\n-- uniform (zipf read) control: controller must cost nothing --\n")
+	tw = newTable(p.Out)
+	fmt.Fprintln(tw, "Variant\tDataset\tMops\tP99us\tSplits\tMerges")
+	for _, ds := range datasets {
+		for _, v := range []struct {
+			name string
+			opts core.Options
+		}{{"ALT-S8-static", core.Options{}}, {"ALT-S8-adaptive", rebalanceOpts()}} {
+			f := ALTSharded(v.name+"-uni", shards, v.opts)
+			r := median(f, Config{Dataset: ds, Keys: p.Keys,
+				Mix: workload.Mix{Name: "zipf-read", Get: 100},
+				Threads: p.Threads, Ops: p.Ops, Duration: p.Duration})
+			fmt.Fprintf(tw, "%s\t%s\t%.2f\t%s\t%d\t%d\n",
+				f.Name, ds, r.Mops, us(r.P99),
+				r.Stats["rebalance_splits"], r.Stats["rebalance_merges"])
+		}
+	}
+	tw.Flush()
+}

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"altindex/internal/arena"
 	"altindex/internal/art"
@@ -87,6 +88,39 @@ type Options struct {
 	// RetrainGate) so cross-shard operations pin once. Nil makes the
 	// index own a private domain.
 	Reclaim *arena.Domain
+	// RebalanceFactor enables the sharded front-end's adaptive rebalance
+	// controller (internal/shard): when the hottest shard's routed-op
+	// share exceeds the mean by this factor (e.g. 1.5) for
+	// RebalanceWindows consecutive evaluation windows, the controller
+	// splits the hot shard at a learned CDF boundary or merges adjacent
+	// cold shards, migrating slots without stopping reads. Zero keeps the
+	// boundaries static (the pre-rebalancing behaviour). core.New ignores
+	// the field, like Shards.
+	RebalanceFactor float64
+	// RebalanceInterval is the controller's evaluation cadence (a
+	// routed-op threshold kicks evaluations early under load). Zero
+	// selects 500ms.
+	RebalanceInterval time.Duration
+	// RebalanceWindows is how many consecutive over-factor windows must
+	// accumulate before the controller acts. Zero selects 3.
+	RebalanceWindows int
+	// RebalanceMinOps is the minimum routed-op delta a window must carry
+	// to count: smaller windows accumulate instead of voting, so an idle
+	// index never rebalances on noise. Zero selects 16384.
+	RebalanceMinOps int64
+	// RebalanceMinSplit is the resident-key floor below which the
+	// controller refuses to split a hot shard: bulkload derives each
+	// shard's error bound as n/1000 floored at 16, so below ~16k keys a
+	// split cannot tighten prediction windows and only churns boundaries.
+	// Zero selects 16384. (SplitShard itself stays ungated for embedders
+	// and tests.)
+	RebalanceMinSplit int
+	// OnRebalance, when non-nil, is invoked by the sharded front-end
+	// after each rebalanced boundary layout is published, with a copy of
+	// the new boundary keys. WAL-backed embedders (internal/memdb) log
+	// the change so recovery reproduces the layout. Called from the
+	// migrating goroutine after the publish, never under internal locks.
+	OnRebalance func(bounds []uint64)
 }
 
 func (o Options) withDefaults() Options {
@@ -190,10 +224,18 @@ func (t *ALT) Close() error {
 			m.retrainArmed.Store(false)
 			r.pending.Add(-1)
 		default:
-			// Workers are gone; give limbo a bounded chance to drain so a
-			// closed index does not sit on retired spans forever. A reader
-			// of a shared domain may legitimately block this.
-			t.ebr.Drain(64)
+			// Workers are gone; on a privately owned domain, give limbo a
+			// bounded chance to drain so a closed index does not sit on
+			// retired spans forever. On a shared domain (Options.Reclaim)
+			// skip it: the other participants keep cranking the epoch, and
+			// Close may itself be running inside a reclamation callback
+			// (the shard front-end retires superseded instances with a
+			// Close-ing free func) — under load every failed advance there
+			// is a Gosched behind every runnable goroutine, which turns 64
+			// attempts into seconds of stall on the reclaim path.
+			if t.ownEBR {
+				t.ebr.Drain(64)
+			}
 			return nil
 		}
 	}

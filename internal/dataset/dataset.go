@@ -112,19 +112,28 @@ func genUniform(n int, r *xrand.Rng) []uint64 {
 	// Sorted uniform via gap method: exponential(1) gaps normalised to
 	// the 64-bit range give exactly the order statistics of uniform
 	// draws without a sort, and guarantee strict ascent.
-	gaps := make([]float64, n+1)
+	//
+	// Generated in place: the gaps are staged as float64 bit patterns in
+	// the result slice itself and overwritten front-to-back by the
+	// normalisation pass (each slot is read before it is written), so
+	// peak residency is one 8-byte word per key instead of the 16 a
+	// separate gap array cost — at the paper-scale 200M-key tier that is
+	// 1.6 GB of peak RSS instead of 3.2 GB. The (n+1)th gap only feeds
+	// the total, so it never needs a slot. Draw order is unchanged,
+	// keeping the output byte-identical for any (n, seed).
+	keys := make([]uint64, n)
 	var total float64
-	for i := range gaps {
+	for i := 0; i < n; i++ {
 		g := r.Exp()
-		gaps[i] = g
+		keys[i] = math.Float64bits(g)
 		total += g
 	}
-	keys := make([]uint64, n)
+	total += r.Exp()
 	const span = float64(math.MaxUint64) * 0.999
 	acc := 0.0
 	prev := uint64(0)
 	for i := 0; i < n; i++ {
-		acc += gaps[i]
+		acc += math.Float64frombits(keys[i])
 		k := uint64(acc / total * span)
 		if k <= prev {
 			k = prev + 1

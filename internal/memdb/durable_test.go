@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"altindex/internal/shard"
 	"altindex/internal/wal"
 )
 
@@ -333,6 +334,64 @@ func checkState(t *testing.T, tbl *Table, want map[uint64][]uint64, maxPK uint64
 			if fmt.Sprint(row) != fmt.Sprint(wantRow) {
 				t.Fatalf("pk %d = %v, want %v", pk, row, wantRow)
 			}
+		}
+	}
+}
+
+// TestDurableRebalanceReplay: a rebalanced sharded primary's boundary
+// layout is WAL-logged and reproduced by recovery — the recRebalance
+// record round-trips through close/reopen.
+func TestDurableRebalanceReplay(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{})
+	tbl, err := db.CreateTableWith("events", 1, TableOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	for pk := uint64(1); pk <= n; pk++ {
+		if err := tbl.Insert(pk*16, []uint64{pk}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Force a migration the way the controller would; the OnRebalance
+	// hook must log the new layout durably.
+	sh := tbl.primary.(*shard.ALT)
+	if err := sh.SplitShard(0); err != nil {
+		t.Fatal(err)
+	}
+	wantBounds := sh.Bounds()
+	if len(wantBounds) != 4 {
+		t.Fatalf("got %d bounds after split, want 4", len(wantBounds))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openT(t, dir, Options{})
+	defer db2.Close()
+	tbl2, err := db2.Table("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2, ok := tbl2.primary.(*shard.ALT)
+	if !ok {
+		t.Fatal("replayed table is not sharded")
+	}
+	gotBounds := sh2.Bounds()
+	if len(gotBounds) != len(wantBounds) {
+		t.Fatalf("replayed %d bounds, want %d", len(gotBounds), len(wantBounds))
+	}
+	for i := range wantBounds {
+		if gotBounds[i] != wantBounds[i] {
+			t.Fatalf("bound %d = %d, want %d (layout not reproduced)", i, gotBounds[i], wantBounds[i])
+		}
+	}
+	for pk := uint64(1); pk <= n; pk++ {
+		row, err := tbl2.Get(pk * 16)
+		if err != nil || row[0] != pk {
+			t.Fatalf("Get(%d) = (%v, %v), want [%d]", pk*16, row, err, pk)
 		}
 	}
 }

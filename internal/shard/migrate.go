@@ -1,0 +1,409 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"altindex/internal/core"
+	"altindex/internal/index"
+)
+
+// Boundary migration: replacing a contiguous run of shards [lo..hi] with
+// a freshly bulkloaded set at new boundaries, without stopping reads.
+//
+// The protocol mirrors the retraining splice (internal/core/retrain.go):
+// a long optimistic copy phase with writers redirected through a short
+// lock, then a single atomic publish.
+//
+//  1. Install a migration marker on the source descriptors. Writers pin
+//     the shared epoch domain across their route-load → apply window, so
+//     one epoch barrier (writerBarrier) flushes every writer that could
+//     still have read a nil marker — after it, every write to the
+//     migrating range goes through the marker's apply-and-log path: the
+//     op is applied to the (still live) source shard AND appended to a
+//     redo log under one mutex, so log order equals apply order.
+//  2. Stop the sources' background retraining (core.ALT.Close — the data
+//     stays readable and writable), so the drain scan below can never
+//     race a retraining freeze into a partial batch.
+//  3. Drain each source with the zero-alloc batched scan into one sorted
+//     pair slice, split it at the new boundaries, and bulkload the
+//     replacement core.ALT instances. Ops that raced the scan are in the
+//     redo log; replay is idempotent (Insert is an upsert, Remove
+//     tolerates absence) and ordered, so applying them again converges.
+//  4. Catch up: repeatedly swap out the redo log and replay it onto the
+//     targets while writers keep running. When a round comes up empty
+//     (or after a bounded number of rounds), hold the migration mutex,
+//     replay the tail, publish the spliced router copy-on-write, and
+//     mark the migration done — the "short publish lock": writers block
+//     only for the tail replay + one pointer store.
+//  5. Writers that arrive at a done migration re-route through the new
+//     router and retry. The marker stays set forever, so no writer can
+//     ever apply to a drained shard. The old routing and the source
+//     shards retire onto the shared epoch domain's limbo, torn down only
+//     after every reader that could still hold the old router unpins.
+
+// drainBatch is the per-Scan budget of the migration drain; bounded
+// batches keep the scan's pooled buffers small and re-read a fresh model
+// table every round.
+const drainBatch = 4096
+
+// maxCatchUpRounds bounds the optimistic catch-up phase: if writers keep
+// the redo log non-empty this long, the final round replays the tail
+// under the publish lock instead of chasing convergence forever.
+const maxCatchUpRounds = 8
+
+// migOp is one logged write against a migrating range.
+type migOp struct {
+	key, val uint64
+	del      bool
+}
+
+// migration is the redirect state shared by the source descriptors of
+// one boundary migration.
+type migration struct {
+	mu   sync.Mutex
+	log  []migOp
+	done bool
+}
+
+// insert applies an upsert through the migration: under the mutex (so
+// log order equals apply order) it writes the still-live source shard
+// and appends the redo record. ok=false means the migration already
+// published; the caller must re-route through the new router.
+func (m *migration) insert(src *core.ALT, key, val uint64) (error, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return nil, false
+	}
+	err := src.Insert(key, val)
+	if err == nil {
+		m.log = append(m.log, migOp{key: key, val: val})
+	}
+	return err, true
+}
+
+func (m *migration) update(src *core.ALT, key, val uint64) (bool, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return false, false
+	}
+	hit := src.Update(key, val)
+	if hit {
+		// A successful Update is an upsert of a present key: replaying it
+		// as a put preserves the final value.
+		m.log = append(m.log, migOp{key: key, val: val})
+	}
+	return hit, true
+}
+
+func (m *migration) remove(src *core.ALT, key uint64) (bool, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return false, false
+	}
+	found := src.Remove(key)
+	// Deletes are logged unconditionally: replay tolerates absence, and a
+	// miss here may still need to erase a drained copy on the target.
+	m.log = append(m.log, migOp{key: key, del: true})
+	return found, true
+}
+
+// writerBarrier waits until every shard-level write that began before
+// the migration markers were installed has finished: writers hold an
+// epoch pin across route-load → apply, so once the epoch domain reclaims
+// a no-op retired after the marker stores, no unredirected write can
+// still be in flight.
+func (t *ALT) writerBarrier() {
+	var done atomic.Bool
+	t.ebr.Retire(0, func() { done.Store(true) })
+	// Ask the routed hot path to help crank the epoch (see bump): under a
+	// saturated scheduler this goroutine's own attempts only run once per
+	// scheduler round-trip, and the barrier would otherwise dominate the
+	// whole migration's wall time.
+	t.barrierHelp.Add(1)
+	defer t.barrierHelp.Add(-1)
+	for !done.Load() {
+		if !t.ebr.Drain(1) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// boundsRoute routes key within a migration's target set: the number of
+// new inner boundaries <= key.
+func boundsRoute(inner []uint64, key uint64) int {
+	return sort.Search(len(inner), func(i int) bool { return inner[i] > key })
+}
+
+// replayOps applies one swapped-out redo log chunk onto the targets, in
+// log order.
+func replayOps(ops []migOp, inner []uint64, targets []*core.ALT) {
+	for _, op := range ops {
+		tgt := targets[boundsRoute(inner, op.key)]
+		if op.del {
+			tgt.Remove(op.key)
+		} else {
+			_ = tgt.Insert(op.key, op.val)
+		}
+	}
+}
+
+// drainInto appends every pair of src (ascending) to buf via bounded
+// scan batches and returns the extended slice. The source's retraining
+// is already stopped, so no batch can be truncated by a freeze.
+func drainInto(buf []index.KV, src *core.ALT) []index.KV {
+	cur := uint64(0)
+	for {
+		n := 0
+		var last uint64
+		src.Scan(cur, drainBatch, func(k, v uint64) bool {
+			last = k
+			n++
+			buf = append(buf, index.KV{Key: k, Value: v})
+			return true
+		})
+		if n < drainBatch || last == ^uint64(0) {
+			return buf
+		}
+		cur = last + 1
+	}
+}
+
+// spliceRouting builds the post-migration router: r with shards [lo..hi]
+// replaced by targets at the given inner boundaries. Surviving shards
+// keep their core instances and their skew-monitor counts; replacement
+// shards start fresh descriptors with nil migration markers.
+func spliceRouting(r *routing, lo, hi int, inner []uint64, targets []*core.ALT) *routing {
+	oldBounds := r.pad[:r.last]
+	newLast := lo + len(inner) + (r.last - hi)
+	nr := &routing{last: newLast}
+	for i := range nr.pad {
+		nr.pad[i] = ^uint64(0)
+	}
+	n := copy(nr.pad[:], oldBounds[:lo])
+	n += copy(nr.pad[n:], inner)
+	copy(nr.pad[n:], oldBounds[hi:])
+
+	nr.shards = make([]shardDesc, newLast+1)
+	for i := 0; i < lo; i++ {
+		nr.shards[i].ix = r.shards[i].ix
+		nr.shards[i].ops.Store(r.shards[i].ops.Load())
+	}
+	for j, tg := range targets {
+		nr.shards[lo+j].ix = tg
+	}
+	for i := hi + 1; i <= r.last; i++ {
+		ni := lo + len(targets) + (i - hi - 1)
+		nr.shards[ni].ix = r.shards[i].ix
+		nr.shards[ni].ops.Store(r.shards[i].ops.Load())
+	}
+	return nr
+}
+
+// reshard replaces shards [lo..hi] with len(inner)+1 shards at the given
+// inner boundaries, migrating the resident keys without stopping reads
+// (protocol at the top of this file). It returns the number of pairs
+// moved. inner must be non-decreasing and lie within the replaced run's
+// outer boundaries so the global boundary array stays non-decreasing.
+func (t *ALT) reshard(lo, hi int, inner []uint64) (int, error) {
+	t.layoutMu.Lock()
+	r := t.route.Load()
+	if lo < 0 || hi > r.last || lo > hi {
+		t.layoutMu.Unlock()
+		return 0, fmt.Errorf("shard: reshard [%d..%d] out of range (last %d)", lo, hi, r.last)
+	}
+	newCount := (r.last + 1) - (hi - lo + 1) + len(inner) + 1
+	if newCount > MaxShards {
+		t.layoutMu.Unlock()
+		return 0, fmt.Errorf("shard: reshard would need %d shards (max %d)", newCount, MaxShards)
+	}
+	for i := 1; i < len(inner); i++ {
+		if inner[i] < inner[i-1] {
+			t.layoutMu.Unlock()
+			return 0, index.ErrUnsortedBulk
+		}
+	}
+	if len(inner) > 0 {
+		if lo > 0 && inner[0] < r.pad[lo-1] {
+			t.layoutMu.Unlock()
+			return 0, index.ErrUnsortedBulk
+		}
+		if hi < r.last && inner[len(inner)-1] > r.pad[hi] {
+			t.layoutMu.Unlock()
+			return 0, index.ErrUnsortedBulk
+		}
+	}
+
+	// 1. Redirect writers, then flush the ones that raced the markers.
+	m := &migration{}
+	srcs := make([]*core.ALT, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		r.shards[i].mig.Store(m)
+		srcs = append(srcs, r.shards[i].ix)
+	}
+	t.writerBarrier()
+
+	// 2. Freeze the sources' shape: no more retraining, so the drain scan
+	// below is exhaustive. The shards stay readable and writable.
+	for _, src := range srcs {
+		_ = src.Close()
+	}
+
+	// 3. Drain and bulkload the replacements.
+	var pairs []index.KV
+	for _, src := range srcs {
+		fpRebalMigrate.Inject()
+		pairs = drainInto(pairs, src)
+	}
+	moved := len(pairs)
+	nsh := len(inner) + 1
+	targets := make([]*core.ALT, nsh)
+	cut := 0
+	for j := 0; j < nsh; j++ {
+		end := len(pairs)
+		if j < len(inner) {
+			b := inner[j]
+			end = cut + sort.Search(len(pairs)-cut, func(k int) bool { return pairs[cut+k].Key >= b })
+		}
+		targets[j] = core.New(t.opts)
+		if err := targets[j].Bulkload(pairs[cut:end]); err != nil {
+			// Drained pairs are sorted by construction; failure here means
+			// a protocol bug, not bad input. Leave the old layout intact:
+			// the sources are still live (writers keep applying through the
+			// migration, which never publishes) — but the markers must come
+			// off so writers stop paying the redirect.
+			for i := lo; i <= hi; i++ {
+				r.shards[i].mig.Store(nil)
+			}
+			t.layoutMu.Unlock()
+			return 0, err
+		}
+		cut = end
+	}
+
+	// 4. Catch up on redirected writes, then publish under the short lock.
+	nr := spliceRouting(r, lo, hi, inner, targets)
+	for round := 0; ; round++ {
+		m.mu.Lock()
+		chunk := m.log
+		m.log = nil
+		if len(chunk) == 0 || round >= maxCatchUpRounds {
+			replayOps(chunk, inner, targets) // tail, under the lock
+			fpRebalPublish.Inject()
+			t.route.Store(nr)
+			m.done = true
+			m.mu.Unlock()
+			break
+		}
+		m.mu.Unlock()
+		replayOps(chunk, inner, targets)
+	}
+
+	// 5. Retire the old router generation: the sources' teardown (already
+	// initiated above) completes, and the routing itself stays reachable
+	// for readers that loaded it before the publish, until every such
+	// reader unpins.
+	t.ebr.Retire(0, func() {
+		for _, src := range srcs {
+			_ = src.Close()
+		}
+	})
+	t.layoutMu.Unlock()
+	return moved, nil
+}
+
+// rebalanced records one completed migration in the stats counters and
+// notifies the embedder's boundary-change hook (the WAL logging path).
+func (t *ALT) rebalanced(kind int, moved int, took time.Duration) {
+	switch {
+	case kind > 0:
+		t.rebSplits.Add(1)
+	case kind < 0:
+		t.rebMerges.Add(1)
+	}
+	t.rebMoved.Add(int64(moved))
+	t.rebLastMs.Store(took.Milliseconds())
+	t.rebTotalMs.Add(took.Milliseconds())
+	if fn := t.opts.OnRebalance; fn != nil {
+		fn(t.Bounds())
+	}
+}
+
+// SplitShard splits shard s in two at an equal-depth boundary of its
+// sampled resident keys, migrating without stopping reads. It fails when
+// the router budget (MaxShards) is exhausted or the shard holds too few
+// distinct keys to cut. Exported for tests and embedders; the rebalance
+// controller uses the same path (with a wider fan-out).
+func (t *ALT) SplitShard(s int) error { return t.splitWays(s, 2) }
+
+// splitWays splits shard s into up to `ways` pieces at equal-depth
+// boundaries of its sampled resident keys, in one migration: one writer
+// barrier and one drain regardless of fan-out, which is why the
+// controller carves a hot shard to the ε floor in a single step instead
+// of a cascade of binary splits. The whole operation counts as one split
+// in the stats.
+func (t *ALT) splitWays(s, ways int) error {
+	r := t.route.Load()
+	if s < 0 || s > r.last {
+		return fmt.Errorf("shard: split %d out of range (last %d)", s, r.last)
+	}
+	if ways < 2 {
+		ways = 2
+	}
+	bs, ok := splitBounds(r.shards[s].ix, ways)
+	if !ok {
+		return fmt.Errorf("shard: shard %d has too few resident keys to split", s)
+	}
+	if r.last+1+len(bs) > MaxShards {
+		return fmt.Errorf("shard: split would exceed %d shards", MaxShards)
+	}
+	start := time.Now()
+	moved, err := t.reshard(s, s, bs)
+	if err != nil {
+		return err
+	}
+	t.rebalanced(+1, moved, time.Since(start))
+	return nil
+}
+
+// MergeShards merges shards s and s+1 into one, migrating without
+// stopping reads. Exported for tests and embedders; the rebalance
+// controller uses the same path.
+func (t *ALT) MergeShards(s int) error {
+	r := t.route.Load()
+	if s < 0 || s+1 > r.last {
+		return fmt.Errorf("shard: merge %d,%d out of range (last %d)", s, s+1, r.last)
+	}
+	start := time.Now()
+	moved, err := t.reshard(s, s+1, nil)
+	if err != nil {
+		return err
+	}
+	t.rebalanced(-1, moved, time.Since(start))
+	return nil
+}
+
+// SetBounds migrates the whole index to the exact boundary layout given
+// (len(bounds)+1 shards), regardless of the current shard count. Bounds
+// must be non-decreasing. Used by snapshot/WAL recovery to reproduce a
+// rebalanced layout, and by tests.
+func (t *ALT) SetBounds(bounds []uint64) error {
+	if len(bounds)+1 > MaxShards {
+		return fmt.Errorf("shard: %d bounds exceed %d shards", len(bounds), MaxShards)
+	}
+	r := t.route.Load()
+	start := time.Now()
+	moved, err := t.reshard(0, r.last, bounds)
+	if err != nil {
+		return err
+	}
+	t.rebalanced(0, moved, time.Since(start))
+	return nil
+}

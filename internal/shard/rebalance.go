@@ -1,0 +1,330 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"altindex/internal/core"
+	"altindex/internal/gpl"
+)
+
+// Rebalance controller: closes the skew-monitor loop. PR 4's router
+// records per-shard routed-op counters (shard_ops_*, shard_imbalance_x100
+// in StatsMap) but never acted on them; the controller watches those
+// counters on a ticker — and on a routed-op threshold, so a traffic spike
+// is noticed before the next tick — and when the max/mean imbalance stays
+// above Options.RebalanceFactor for RebalanceWindows consecutive windows
+// it splits the hot shard at a learned CDF boundary (an equal-depth cut
+// of the shard's sampled resident keys). When the router budget is
+// exhausted, or an adjacent pair of shards has gone cold, it merges
+// instead, keeping the layout within MaxShards. The migrations themselves
+// are stop-free (migrate.go).
+
+const (
+	defaultRebalInterval = 500 * time.Millisecond
+	defaultRebalWindows  = 3
+	defaultRebalMinOps   = 16384
+
+	// kickThreshold is the routed-op stride at which a shard's counter
+	// crossing kicks an out-of-band evaluation (power of two: the bump
+	// hook masks rather than divides).
+	kickThreshold = 1 << 14
+
+	// splitSampleMax bounds the resident-key sample split boundaries are
+	// computed from.
+	splitSampleMax = 4096
+
+	// defaultMinSplit is the Options.RebalanceMinSplit default: the
+	// resident-key count where bulkload's derived error bound (n/1000)
+	// reaches its floor of 16. Splitting below it cannot tighten a
+	// shard's prediction windows.
+	defaultMinSplit = 16384
+
+	// maxSplitWays caps how many pieces one controller split produces.
+	// A multi-way split costs the same single migration (one writer
+	// barrier, one drain) as a binary one, so the controller carves a hot
+	// shard to the ε floor in one step instead of a cascade.
+	maxSplitWays = 8
+
+	// coldFractionDiv: an adjacent shard pair is "cold" when its combined
+	// window traffic is under a 1/coldFractionDiv fraction of the mean
+	// per-shard traffic.
+	coldFractionDiv = 4
+
+	// mergeSlack is how far past its armed shard count the layout may
+	// grow before the controller starts merging cold pairs back. Merges
+	// are budget reclamation, not housekeeping: each one costs a full
+	// migration (writer barrier included), so the layout gets room to
+	// breathe across a few hot-range generations instead of the
+	// controller churning a merge for every split.
+	mergeSlack = 2 * maxSplitWays
+)
+
+// rebalancer runs the evaluation loop on its own goroutine. All mutable
+// state (baseline counters, consecutive-window runs) is goroutine-local;
+// the hot path only touches kickMask and the kick channel.
+type rebalancer struct {
+	t          *ALT
+	factorX100 int64
+	windows    int
+	interval   time.Duration
+	minOps     int64
+	minSplit   int
+	kickMask   int64
+
+	// home is the shard count the controller was armed with. Merges only
+	// reclaim layout the controller itself grew (ns > home): the
+	// configured partition is the embedder's floor, and an index that
+	// never split has nothing worth a migration to take back.
+	home int
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	// Evaluation state, owned by the run goroutine.
+	lastR   *routing
+	base    []int64
+	cur     []int64
+	hotRun  int
+	coldRun int
+}
+
+// startRebalancer arms the controller when Options.RebalanceFactor asks
+// for it. Factors <= 1 disable: max/mean can never fall below 1, so such
+// a threshold would be always-on noise rather than a skew signal.
+func (t *ALT) startRebalancer(opts core.Options) {
+	if opts.RebalanceFactor <= 1 {
+		return
+	}
+	rb := &rebalancer{
+		t:          t,
+		factorX100: int64(opts.RebalanceFactor * 100),
+		windows:    opts.RebalanceWindows,
+		interval:   opts.RebalanceInterval,
+		minOps:     opts.RebalanceMinOps,
+		minSplit:   opts.RebalanceMinSplit,
+		kickMask:   kickThreshold - 1,
+		home:       t.Shards(),
+		kick:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if rb.windows <= 0 {
+		rb.windows = defaultRebalWindows
+	}
+	if rb.interval <= 0 {
+		rb.interval = defaultRebalInterval
+	}
+	if rb.minOps <= 0 {
+		rb.minOps = defaultRebalMinOps
+	}
+	if rb.minSplit <= 0 {
+		rb.minSplit = defaultMinSplit
+	}
+	t.rb = rb
+	go rb.run()
+}
+
+// kickNow requests an out-of-band evaluation; cheap and non-blocking, so
+// the write hot path can call it on every threshold crossing.
+func (rb *rebalancer) kickNow() {
+	select {
+	case rb.kick <- struct{}{}:
+	default:
+	}
+}
+
+// stopWait shuts the controller down and waits for the loop (including
+// any in-flight migration it is running) to finish. Idempotent.
+func (rb *rebalancer) stopWait() {
+	rb.once.Do(func() { close(rb.stop) })
+	<-rb.done
+}
+
+func (rb *rebalancer) run() {
+	defer close(rb.done)
+	tick := time.NewTicker(rb.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rb.stop:
+			return
+		case <-tick.C:
+		case <-rb.kick:
+		}
+		rb.eval()
+	}
+}
+
+// snapshot re-baselines the counters against a new routing generation:
+// after any layout change (ours or a Bulkload) the old deltas are
+// meaningless, so the consecutive-window runs start over.
+func (rb *rebalancer) snapshot(r *routing) {
+	rb.lastR = r
+	if cap(rb.base) < len(r.shards) {
+		rb.base = make([]int64, len(r.shards))
+		rb.cur = make([]int64, len(r.shards))
+	}
+	rb.base = rb.base[:len(r.shards)]
+	rb.cur = rb.cur[:len(r.shards)]
+	for i := range r.shards {
+		rb.base[i] = r.shards[i].ops.Load()
+	}
+	rb.hotRun, rb.coldRun = 0, 0
+}
+
+// eval closes one monitoring window: per-shard op deltas since the
+// baseline, imbalance vs the factor, and — after RebalanceWindows
+// consecutive over-threshold windows — one split or merge. Windows with
+// fewer than minOps routed ops don't count (and don't advance the
+// baseline), so an idle index never rebalances on stale ratios.
+func (rb *rebalancer) eval() {
+	t := rb.t
+	r := t.route.Load()
+	if r != rb.lastR {
+		rb.snapshot(r)
+		return
+	}
+	ns := r.last + 1
+	var total, max int64
+	hot := 0
+	for i := 0; i < ns; i++ {
+		d := r.shards[i].ops.Load() - rb.base[i]
+		if d < 0 {
+			d = 0
+		}
+		rb.cur[i] = d
+		total += d
+		if d > max {
+			max, hot = d, i
+		}
+	}
+	if total < rb.minOps {
+		return
+	}
+	for i := 0; i < ns; i++ {
+		rb.base[i] += rb.cur[i]
+	}
+
+	mean := total / int64(ns)
+	if mean == 0 {
+		return
+	}
+	if max*100/mean > rb.factorX100 {
+		rb.hotRun++
+	} else {
+		rb.hotRun = 0
+	}
+
+	// Coldest adjacent pair — the merge candidate both for housekeeping
+	// and for freeing router budget when a split is needed at MaxShards.
+	coldPair, coldSum := -1, int64(0)
+	for i := 0; i+1 < ns; i++ {
+		if s := rb.cur[i] + rb.cur[i+1]; coldPair < 0 || s < coldSum {
+			coldPair, coldSum = i, s
+		}
+	}
+	if ns > 2 && coldPair >= 0 && coldSum*coldFractionDiv < mean {
+		rb.coldRun++
+	} else {
+		rb.coldRun = 0
+	}
+
+	// Resident-key counts gate both actions: splits below the ε floor buy
+	// nothing (rb.minSplit), and merges are only worth a migration when
+	// the pair is cheap to move — cold does not mean small, and moving
+	// half the index to reclaim one router slot is how a controller loses
+	// to its own churn.
+	hotLen := r.shards[hot].ix.Len()
+	var totalLen int
+	for i := 0; i <= r.last; i++ {
+		totalLen += r.shards[i].ix.Len()
+	}
+	pairCheap := func(p int) bool {
+		return r.shards[p].ix.Len()+r.shards[p+1].ix.Len() <= totalLen/ns
+	}
+
+	switch {
+	case rb.hotRun >= rb.windows:
+		rb.hotRun = 0
+		// Budget reclamation rides along with the split: under sustained
+		// skew this branch wins every evaluation, so the standalone cold
+		// path below would never run — yet a moving hot range keeps
+		// abandoning fine shards behind itself. Once the layout has grown
+		// mergeSlack past its armed size, merging the coldest adjacent
+		// pair (when it is cold and cheap) reclaims router budget and
+		// keeps the layout tracking the skew instead of monotonically
+		// growing to MaxShards.
+		if ns > rb.home+mergeSlack && coldPair >= 0 && coldPair != hot && coldPair+1 != hot &&
+			coldSum*coldFractionDiv < mean && pairCheap(coldPair) {
+			if t.MergeShards(coldPair) == nil {
+				if coldPair+1 < hot {
+					hot--
+				}
+				ns--
+			}
+		}
+		switch {
+		case hotLen < 2*rb.minSplit:
+			// ε floor: every piece of a split must keep at least minSplit
+			// resident keys. A hot shard this small already runs at the
+			// minimum error bound; leave it alone.
+		case ns < MaxShards:
+			// One migration, carved straight to the ε floor: a multi-way
+			// split costs the same barrier and drain as a binary one.
+			ways := hotLen / rb.minSplit
+			if ways > maxSplitWays {
+				ways = maxSplitWays
+			}
+			if ways > MaxShards-ns+1 {
+				ways = MaxShards - ns + 1
+			}
+			if ways < 2 {
+				ways = 2
+			}
+			_ = t.splitWays(hot, ways)
+		case coldPair >= 0 && coldPair != hot && coldPair+1 != hot && pairCheap(coldPair):
+			// Budget exhausted and the ride-along merge didn't fire: free
+			// a slot by merging the least-loaded pair if that is cheap;
+			// the still-hot shard splits on a later window.
+			_ = t.MergeShards(coldPair)
+		}
+	case rb.coldRun >= rb.windows:
+		rb.coldRun = 0
+		if ns > rb.home+mergeSlack && coldPair != hot && coldPair+1 != hot && pairCheap(coldPair) {
+			_ = t.MergeShards(coldPair)
+		}
+	}
+	// An action published a new routing; the next eval re-baselines via
+	// the lastR identity check.
+}
+
+// splitBounds picks the learned CDF cuts for splitting a shard into up
+// to `ways` pieces: equal-depth quantiles of its sampled resident keys,
+// deduplicated to strictly ascending cuts above the smallest sample so
+// every piece is non-empty. ok=false when the shard holds too few
+// distinct keys for even one such cut.
+func splitBounds(ix *core.ALT, ways int) ([]uint64, bool) {
+	keys := gpl.SampleKeys(ix.ResidentKeys(splitSampleMax), splitSampleMax)
+	if len(keys) < 4*ways {
+		// Not enough sample mass for this fan-out; fall back to a binary
+		// cut before giving up entirely.
+		if ways <= 2 || len(keys) < 8 {
+			return nil, false
+		}
+		return splitBounds(ix, 2)
+	}
+	b := gpl.EqualDepthBounds(keys, ways)
+	out := b[:0]
+	for _, c := range b {
+		if c > keys[0] && (len(out) == 0 || c > out[len(out)-1]) {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}

@@ -1,0 +1,170 @@
+//go:build failpoint
+
+// Chaos scenario for stop-free boundary migration: every migration's
+// drain is stretched (shard/rebalance/migrate) so concurrent writes pile
+// into the redo log, and the publish is stretched under the migration
+// mutex (shard/rebalance/publish) so redirected writers wedge against the
+// router swap — the torn-router window the audit must prove empty.
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"altindex/internal/failpoint"
+	"altindex/internal/index"
+	"altindex/internal/indextest"
+	"altindex/internal/shard"
+	"altindex/internal/xrand"
+)
+
+func TestRebalanceChaosStretchedMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is not -short")
+	}
+	const cycles = 200
+	const (
+		writers   = 4
+		bulkKeys  = 1 << 12
+		keyStride = 64
+		opsPerW   = 4000
+	)
+
+	idx := loadShardedGrid(t, bulkKeys, keyStride)
+
+	// Stretch both migration windows: each source drain pauses after the
+	// writer barrier (writes now redirect through the redo log), and a
+	// quarter of publishes stall holding the migration mutex.
+	for site, spec := range map[string]string{
+		"shard/rebalance/migrate": "delay(300us)",
+		"shard/rebalance/publish": "25%delay(200us)",
+	} {
+		if err := failpoint.Enable(site, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer failpoint.DisableAll()
+
+	type finalState struct {
+		val  uint64
+		live bool
+	}
+	finals := make([]map[uint64]finalState, writers)
+	stop := make(chan struct{})
+	errc := make(chan error, writers+2)
+	done := make(chan struct{}, writers)
+
+	for w := 0; w < writers; w++ {
+		finals[w] = make(map[uint64]finalState)
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			rng := xrand.New(uint64(0xD00D*w + 3))
+			mine := finals[w]
+			for op := 0; op < opsPerW; op++ {
+				gi := uint64(rng.Intn(bulkKeys*2))*uint64(writers) + uint64(w)
+				k := gi*keyStride + 7
+				v := uint64(op)<<8 | uint64(w)
+				switch rng.Intn(10) {
+				case 0:
+					idx.Remove(k)
+					mine[k] = finalState{}
+				case 1, 2:
+					batch := make([]index.KV, 0, 16)
+					for j := uint64(0); j < 16; j++ {
+						bk := (gi+j*uint64(writers))*keyStride + 7
+						batch = append(batch, index.KV{Key: bk, Value: v + j})
+					}
+					if err := idx.InsertBatch(batch); err != nil {
+						errc <- err
+						return
+					}
+					for j, kv := range batch {
+						mine[kv.Key] = finalState{val: v + uint64(j), live: true}
+					}
+				default:
+					if err := idx.Insert(k, v); err != nil {
+						errc <- err
+						return
+					}
+					mine[k] = finalState{val: v, live: true}
+				}
+			}
+		}(w)
+	}
+
+	// Reader: immutable sentinels must read exactly and scans must stay
+	// strictly ascending across every stretched router swap.
+	go func() {
+		rng := xrand.New(0xCAFE)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i := uint64(rng.Intn(bulkKeys))
+			if v, ok := idx.Get(i*keyStride + 31); !ok || v != i*3+1 {
+				errc <- fmt.Errorf("sentinel %d = (%d,%v), want %d", i*keyStride+31, v, ok, i*3+1)
+				return
+			}
+			var prev uint64
+			n := 0
+			start := uint64(rng.Intn(bulkKeys)) * keyStride
+			idx.Scan(start, 128, func(k, _ uint64) bool {
+				if (n > 0 && k <= prev) || k < start {
+					errc <- fmt.Errorf("scan order violation: %d after %d (start %d)", k, prev, start)
+					return false
+				}
+				prev, n = k, n+1
+				return true
+			})
+		}
+	}()
+
+	rng := xrand.New(0x1DEA)
+	for c := 0; c < cycles; c++ {
+		ns := idx.Shards()
+		if c%2 == 0 && ns < shard.MaxShards {
+			_ = idx.SplitShard(rng.Intn(ns)) // "too few keys" is acceptable
+		} else if ns > 1 {
+			if err := idx.MergeShards(rng.Intn(ns - 1)); err != nil {
+				t.Fatalf("cycle %d: MergeShards: %v", c, err)
+			}
+		}
+	}
+
+	for w := 0; w < writers; w++ {
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		case <-done:
+		}
+	}
+	close(stop)
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	if failpoint.Hits("shard/rebalance/migrate") == 0 {
+		t.Fatal("migrate failpoint never fired: the drains ran unstretched")
+	}
+	if failpoint.Hits("shard/rebalance/publish") == 0 {
+		t.Fatal("publish failpoint never fired: the publishes ran unstretched")
+	}
+
+	want := gridWant(bulkKeys, keyStride)
+	for _, mine := range finals {
+		for k, fs := range mine {
+			if fs.live {
+				want[k] = fs.val
+			} else {
+				delete(want, k)
+			}
+		}
+	}
+	for _, bad := range indextest.Audit(idx, want) {
+		t.Error(bad)
+	}
+}

@@ -36,6 +36,16 @@ func (t *ALT) StatsMap() map[string]int64 {
 	out["limbo_bytes"] = es.LimboBytes
 	out["reclaims"] = es.Reclaims
 
+	// Rebalance counters: lifetime splits/merges, total keys migrated and
+	// the last migration's wall-clock cost. Emitted (as zeros) even with
+	// the controller disarmed, so dashboards and smoke tests can key on
+	// their presence.
+	out["rebalance_splits"] = t.rebSplits.Load()
+	out["rebalance_merges"] = t.rebMerges.Load()
+	out["rebalance_moved_keys"] = t.rebMoved.Load()
+	out["rebalance_last_ms"] = t.rebLastMs.Load()
+	out["rebalance_total_ms"] = t.rebTotalMs.Load()
+
 	ns := int64(r.last + 1)
 	out["shards"] = ns
 	var total, max int64

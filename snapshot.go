@@ -119,13 +119,16 @@ func writeIndexHeader(w io.Writer, bounds []uint64, count uint64) error {
 // Load reads a snapshot written by Save into a fresh index built with
 // opts. Corrupt or truncated files return an error wrapping ErrBadSnapshot.
 //
-// The requested layout (opts.Shards) controls the result, not the stored
-// one: a sharded (v2) snapshot whose shard count matches opts.Shards is
-// restored with its exact saved boundaries, while any other combination —
-// sharded file into unsharded config, different shard count, unsharded
-// file into sharded config — remaps by bulkloading the pairs into a fresh
-// index built from opts. Data always round-trips; only the partitioning is
-// recomputed when the layouts disagree.
+// A sharded (v2) snapshot loaded into a sharded config (opts.Shards > 1)
+// is restored with its exact saved boundaries — the saved layout wins
+// over opts.Shards, because a rebalanced index's shard count legitimately
+// drifts from the configured one (the adaptive controller splits and
+// merges at runtime) and recovery must reproduce the layout it actually
+// converged to, not re-quantile it. Loading a sharded file into an
+// unsharded config, or an unsharded file into any config, remaps by
+// bulkloading the pairs into a fresh index built from opts. Data always
+// round-trips; only the partitioning is recomputed when the layouts
+// fundamentally disagree.
 func Load(path string, opts Options) (Index, error) {
 	payload, err := snapio.ReadFile(path)
 	if err != nil {
@@ -185,9 +188,11 @@ func Load(path string, opts Options) (Index, error) {
 		pairs[i] = index.KV{Key: k, Value: binary.LittleEndian.Uint64(kv[8:])}
 	}
 	var idx Index
-	if len(bounds) > 0 && opts.Shards == len(bounds)+1 {
-		// Same sharded layout as saved: pin the stored boundaries so the
-		// restored partitioning is exact, not a recomputed approximation.
+	if len(bounds) > 0 && opts.Shards > 1 {
+		// Sharded file into sharded config: pin the stored boundaries so
+		// the restored partitioning is exact — even when the saved shard
+		// count differs from opts.Shards, as it will after adaptive
+		// rebalancing changed the layout at runtime.
 		sh, err := shard.NewWithBounds(opts, bounds)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)

@@ -137,13 +137,51 @@ func TestSnapshotShardRoundTrip(t *testing.T) {
 		verify(t, loaded)
 	})
 	t.Run("into-different-count", func(t *testing.T) {
+		// The saved layout wins over opts.Shards: after adaptive
+		// rebalancing the on-disk shard count legitimately drifts from the
+		// configured one, and recovery must reproduce the layout the index
+		// converged to rather than re-quantile it.
 		loaded, err := Load(path, Options{Shards: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer loaded.Close()
-		if got := loaded.StatsMap()["shards"]; got != 7 {
-			t.Fatalf("shards = %d, want 7 (remap must honor the requested layout)", got)
+		if got := loaded.StatsMap()["shards"]; got != 4 {
+			t.Fatalf("shards = %d, want the saved 4 (stored layout must win)", got)
+		}
+		gotBounds := loaded.(interface{ Bounds() []uint64 }).Bounds()
+		for i := range wantBounds {
+			if gotBounds[i] != wantBounds[i] {
+				t.Fatalf("bound %d = %d, want %d", i, gotBounds[i], wantBounds[i])
+			}
+		}
+		verify(t, loaded)
+	})
+	t.Run("rebalanced-bounds", func(t *testing.T) {
+		// Migrate the live index to a deliberately non-quantile layout (the
+		// state an adaptive split/merge history leaves behind) and check
+		// the snapshot round-trips those exact boundaries.
+		reb := []uint64{7 * 1000, 7 * 1100, 7 * 9000}
+		if err := idx.(interface{ SetBounds([]uint64) error }).SetBounds(reb); err != nil {
+			t.Fatal(err)
+		}
+		p4 := filepath.Join(t.TempDir(), "rebalanced.snap")
+		if err := Save(idx, p4); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(p4, Options{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loaded.Close()
+		gotBounds := loaded.(interface{ Bounds() []uint64 }).Bounds()
+		if len(gotBounds) != len(reb) {
+			t.Fatalf("restored %d bounds, want %d", len(gotBounds), len(reb))
+		}
+		for i := range reb {
+			if gotBounds[i] != reb[i] {
+				t.Fatalf("bound %d = %d, want %d (rebalanced layout not reproduced)", i, gotBounds[i], reb[i])
+			}
 		}
 		verify(t, loaded)
 	})
