@@ -45,6 +45,10 @@ func main() {
 		shards  = flag.Int("shards", 0, "extra shard count for the 'shard-scaling' sweep (0 = default sweep)")
 		tier    = flag.String("tier", "", "scale tier: 'large' defaults -keys to 20M and -exp to large-scale (pass -keys 50000000 or more to opt higher)")
 
+		netRun   = flag.Bool("net", false, "shorthand for -exp net-path: drive the served TCP hot path (pipelined loop + coalescing vs legacy baseline)")
+		netConns = flag.Int("net-conns", 0, "net-path: connections for the depth sweep (0 = 8, where the coalescing gate engages)")
+		netDepth = flag.Int("net-depth", 0, "net-path: pipeline depth for the connection sweep (0 = 16)")
+
 		gogc     = flag.Int("gogc", 0, "debug.SetGCPercent value for the whole process (0 = leave GOGC/runtime default)")
 		memlimit = flag.Int64("memlimit", 0, "debug.SetMemoryLimit bytes (0 = leave GOMEMLIMIT/runtime default)")
 
@@ -90,6 +94,10 @@ func main() {
 		debug.SetMemoryLimit(*memlimit)
 	}
 
+	if *netRun && *exp == "" {
+		*exp = "net-path"
+	}
+
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
@@ -127,7 +135,8 @@ func main() {
 	}
 
 	p := bench.Params{Keys: *keys, Threads: *threads, Ops: *ops, Seed: *seed,
-		BatchSizes: batchSizes, Shards: *shards, Duration: *dur, Out: os.Stdout}
+		BatchSizes: batchSizes, Shards: *shards, Duration: *dur,
+		NetConns: *netConns, NetDepth: *netDepth, Out: os.Stdout}
 	ids := expand(*exp)
 	if len(ids) == 0 {
 		fmt.Fprintf(os.Stderr, "altbench: unknown experiment %q (try -list)\n", *exp)

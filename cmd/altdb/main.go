@@ -6,6 +6,12 @@
 // group-committed write-ahead logging, incremental checkpoints and
 // crash recovery that preserves every acknowledged write.
 //
+// The network hot path is pipelined: replies are flushed once per socket
+// wakeup rather than once per command, runs of point commands go through
+// the index's batched fast path, and above -coalesce-conns concurrent
+// connections the runs of different connections coalesce into shared
+// batches (see internal/server and internal/opsched).
+//
 // Protocol: one command per line, space-separated, replies are single
 // lines ("OK", "VALUE <v>", "NIL", "ERR <CODE> <detail>", or multi-line
 // scans terminated by "END").
@@ -35,23 +41,26 @@ import (
 	"time"
 
 	"altindex/internal/failpoint"
+	"altindex/internal/server"
 )
 
 func main() {
 	var (
-		listen       = flag.String("listen", "127.0.0.1:7700", "address to listen on")
-		snapshot     = flag.String("snapshot", "", "snapshot file: loaded at startup, written on graceful shutdown (legacy mode; prefer -wal-dir)")
-		maxConns     = flag.Int("max-conns", 256, "max concurrent connections (excess dials wait in the accept backlog)")
-		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-request read deadline")
-		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline")
-		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
-		shards       = flag.Int("shards", 0, "range-partition the keyspace across this many index shards (0 = single instance)")
-		rebFactor    = flag.Float64("rebalance-factor", 0, "adaptive shard rebalancing: split/merge online when max/mean routed-op imbalance exceeds this factor (0 disables; needs -shards > 1)")
-		rebInterval  = flag.Duration("rebalance-interval", 0, "rebalancer evaluation cadence (0 = 500ms)")
-		walDir       = flag.String("wal-dir", "", "durability directory: write-ahead log + incremental checkpoints; writes ack only after commit")
-		walSync      = flag.String("wal-sync", "always", "WAL commit point: always (fsync per group commit), interval, none")
-		walSegBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment size cap in bytes (0 = 64 MiB)")
-		ckptInterval = flag.Duration("checkpoint-interval", 0, "incremental checkpoint cadence (0 = 15s, negative disables)")
+		listen        = flag.String("listen", "127.0.0.1:7700", "address to listen on")
+		snapshot      = flag.String("snapshot", "", "snapshot file: loaded at startup, written on graceful shutdown (legacy mode; prefer -wal-dir)")
+		maxConns      = flag.Int("max-conns", 256, "max concurrent connections (excess dials wait in the accept backlog)")
+		readTimeout   = flag.Duration("read-timeout", 5*time.Minute, "per-request read deadline")
+		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
+		legacyLoop    = flag.Bool("legacy-loop", false, "serve with the pre-pipelining connection loop (one flush per command, no batching) — benchmark baseline / fallback")
+		coalesceConns = flag.Int("coalesce-conns", 0, "connection count at which cross-connection op coalescing engages (0 = 8, negative disables)")
+		shards        = flag.Int("shards", 0, "range-partition the keyspace across this many index shards (0 = single instance)")
+		rebFactor     = flag.Float64("rebalance-factor", 0, "adaptive shard rebalancing: split/merge online when max/mean routed-op imbalance exceeds this factor (0 disables; needs -shards > 1)")
+		rebInterval   = flag.Duration("rebalance-interval", 0, "rebalancer evaluation cadence (0 = 500ms)")
+		walDir        = flag.String("wal-dir", "", "durability directory: write-ahead log + incremental checkpoints; writes ack only after commit")
+		walSync       = flag.String("wal-sync", "always", "WAL commit point: always (fsync per group commit), interval, none")
+		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment size cap in bytes (0 = 64 MiB)")
+		ckptInterval  = flag.Duration("checkpoint-interval", 0, "incremental checkpoint cadence (0 = 15s, negative disables)")
 	)
 	flag.Parse()
 
@@ -71,11 +80,13 @@ func main() {
 		}
 	}
 
-	srv, err := NewServerWith(Config{
+	srv, err := server.NewServerWith(server.Config{
 		MaxConns:           *maxConns,
 		ReadTimeout:        *readTimeout,
 		WriteTimeout:       *writeTimeout,
 		DrainTimeout:       *drainTimeout,
+		LegacyLoop:         *legacyLoop,
+		CoalesceConns:      *coalesceConns,
 		SnapshotPath:       *snapshot,
 		Shards:             *shards,
 		RebalanceFactor:    *rebFactor,
@@ -103,7 +114,7 @@ func main() {
 		shutdownErr <- srv.Shutdown()
 	}()
 
-	if err := srv.Serve(ln); err != ErrServerClosed {
+	if err := srv.Serve(ln); err != server.ErrServerClosed {
 		log.Fatal(err)
 	}
 	// Serve returned because the signal handler started Shutdown; wait for

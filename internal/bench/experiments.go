@@ -37,6 +37,12 @@ type Params struct {
 	// expires instead of a fixed op count, and reports the ops it achieved.
 	// This keeps rows comparable across host speeds (cmd/altbench -duration).
 	Duration time.Duration
+	// NetConns and NetDepth anchor the net-path experiment's sweeps: the
+	// depth sweep runs at NetConns connections (default 8, where the
+	// coalescing gate engages) and the connection sweep at NetDepth
+	// pipelined commands per burst (default 16).
+	NetConns int
+	NetDepth int
 }
 
 func (p Params) record(r Result) {
@@ -63,6 +69,12 @@ func (p Params) withDefaults() Params {
 	}
 	if len(p.BatchSizes) == 0 {
 		p.BatchSizes = []int{1, 8, 64, 256}
+	}
+	if p.NetConns == 0 {
+		p.NetConns = 8
+	}
+	if p.NetDepth == 0 {
+		p.NetDepth = 16
 	}
 	return p
 }
@@ -108,6 +120,7 @@ func Experiments() []Experiment {
 		{"ablation-writeback", "Ablation: ALT write-back scheme on/off", AblationWriteback},
 		{"wal-commit", "WAL group commit: commits/s vs fsyncs/s per sync policy x writers, plus replay speed", WALCommit},
 		{"rebalance", "Adaptive rebalancing: moving 90/10 hotspot, split/merge controller vs static boundaries", Rebalance},
+		{"net-path", "Net path: pipelined protocol loop + cross-connection coalescing vs per-command baseline over TCP", NetPath},
 	}
 }
 

@@ -1,0 +1,77 @@
+// Package netproto holds the allocation-free building blocks of the altdb
+// wire protocol: an in-place byte-slice tokenizer, ASCII case-insensitive
+// command matching, and uint64 parsing over raw bytes. The server's
+// pipelined dispatcher and the TCP load generator share these so neither
+// side allocates per command on the hot path.
+//
+// The protocol itself is line-oriented: one command per '\n'-terminated
+// line, fields separated by runs of spaces/tabs, replies single lines
+// (or END-terminated blocks). These helpers never retain or mutate their
+// inputs; returned sub-slices alias the input line.
+package netproto
+
+// Fields splits line into whitespace-separated fields, appending the
+// sub-slices to dst (pass dst[:0] of a reused scratch to stay
+// allocation-free). Separators are runs of spaces and tabs; a trailing
+// '\r' (CRLF clients) is stripped from the line first. The returned
+// fields alias line.
+func Fields(dst [][]byte, line []byte) [][]byte {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	i, n := 0, len(line)
+	for i < n {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i == n {
+			break
+		}
+		start := i
+		for i < n && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		dst = append(dst, line[start:i])
+	}
+	return dst
+}
+
+// EqFold reports whether tok equals upper under ASCII case folding.
+// upper must be an all-uppercase literal ("GET", "MPUT", ...); only
+// ASCII letters fold, so binary junk never aliases a command name.
+func EqFold(tok []byte, upper string) bool {
+	if len(tok) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(upper); i++ {
+		c := tok[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseUint parses tok as a decimal uint64, rejecting empty tokens,
+// non-digits, and overflow — the allocation-free strconv.ParseUint of
+// the hot path.
+func ParseUint(tok []byte) (uint64, bool) {
+	if len(tok) == 0 || len(tok) > 20 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}

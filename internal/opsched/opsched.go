@@ -1,0 +1,447 @@
+// Package opsched coalesces point operations arriving concurrently on
+// independent server connections into the index's grouped batch fast path —
+// group commit for reads (and writes), via flat combining: a submitting
+// goroutine enqueues its GET/SET/DEL run on a stripe and, if no combiner is
+// active there, becomes the combiner itself — it sweeps whatever has
+// accumulated (its own run plus every run enqueued meanwhile) and issues
+// one GetBatch / one InsertBatch (one WAL record, one group commit, in
+// durable mode) for the whole round, then wakes the other submitters. If a
+// combiner is already running, the submitter parks and its run rides that
+// combiner's next round. The batch size is emergent: it equals however
+// many operations arrived while the previous round executed, exactly like
+// the WAL's group commit (internal/wal) amortizes fsyncs — and when
+// arrivals are sparse the combiner is always the submitter itself, so an
+// uncontended operation pays no goroutine handoff at all, just one mutex
+// round trip.
+//
+// An adaptive gate keeps even that off the latency path when there is
+// nothing to amortize: below GateConns registered connections every call
+// goes straight to the backend, so a single client keeps direct-call
+// latency. The gate reads the live connection count the server maintains,
+// not a per-op heuristic — cheap, stable, and it cannot misfire on a lone
+// bursty client.
+//
+// Ordering: a connection submits its next operation only after the
+// previous one completed (the protocol loop is serial per connection), so
+// per-connection order is preserved by construction. Operations in one
+// drained round are pairwise concurrent — every submitter invoked before
+// the round executed and returns after it — so any serialization of the
+// round is linearizable. Durable acks hold because SetBatch maps to the
+// durable store's Mput, which acknowledges only after the group's redo
+// record reaches the WAL commit point.
+package opsched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"altindex/internal/index"
+)
+
+// Backend is the operation sink the coalescer drains into: the server's
+// index, or its durable store (whose SetBatch/Del ack after WAL commit).
+type Backend interface {
+	GetBatch(keys, vals []uint64, found []bool)
+	SetBatch(pairs []index.KV) error
+	Del(k uint64) (bool, error)
+}
+
+// Options tune the coalescer; zero values select defaults.
+type Options struct {
+	// GateConns is the registered-connection count at or above which
+	// coalescing engages (default 8). Below it every call is a direct
+	// backend call. Negative disables coalescing permanently.
+	GateConns int
+	// Stripes is the number of independent combining queues (default
+	// GOMAXPROCS/4 clamped to [1,4]). One stripe maximizes batch
+	// formation; more stripes trade batch size for lock spreading on big
+	// hosts.
+	Stripes int
+	// MaxBatch caps the operations one drained backend call may carry
+	// (default 4096, the server's maxBatch); a larger round is chunked.
+	MaxBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.GateConns == 0 {
+		o.GateConns = 8
+	}
+	if o.Stripes <= 0 {
+		o.Stripes = runtime.GOMAXPROCS(0) / 4
+		if o.Stripes < 1 {
+			o.Stripes = 1
+		}
+		if o.Stripes > 4 {
+			o.Stripes = 4
+		}
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
+	}
+	return o
+}
+
+// unit is one submitter's operation run. Exactly one of the three op
+// families is populated per unit (the protocol loop groups runs of a
+// single kind). Slices are caller-owned; the combiner scatters results
+// back into them before closing done.
+type unit struct {
+	keys  []uint64 // GET run: keys to look up
+	vals  []uint64 // GET results (caller-provided, len(keys))
+	found []bool   // GET results (caller-provided, len(keys))
+
+	pairs []index.KV // SET run
+
+	dels     []uint64 // DEL run
+	delFound []bool   // DEL results (caller-provided, len(dels))
+
+	err       error
+	done      chan struct{} // nil for the combiner's own unit (nothing parks on it)
+	completed bool          // results settled (combiner-private)
+	next      *unit
+}
+
+type stripe struct {
+	mu        sync.Mutex
+	closed    bool
+	combining bool // a combiner is draining this stripe
+	head      *unit
+	tail      *unit
+
+	// round scratch, reused across rounds. Private to the active combiner:
+	// the combining flag guarantees at most one per stripe.
+	keys  []uint64
+	vals  []uint64
+	found []bool
+	pairs []index.KV
+}
+
+// sizeBuckets is the batch-size histogram layout: exact counts 1..8, then
+// doubling ranges up to 4096+. Index i<8 holds size i+1; index 8+j holds
+// (8·2^j, 8·2^(j+1)].
+const sizeBuckets = 8 + 10
+
+// Coalescer is the cross-connection op scheduler. Create with New; Close
+// it only after every submitting goroutine has finished.
+type Coalescer struct {
+	be    Backend
+	opt   Options
+	conns atomic.Int64
+	rr    atomic.Uint64
+
+	batches atomic.Int64
+	ops     atomic.Int64
+	sizes   [sizeBuckets]atomic.Int64
+
+	stripes []*stripe
+}
+
+// New builds a coalescer over be. Combining is driven entirely by the
+// submitting goroutines; no background goroutines are started.
+func New(be Backend, opt Options) *Coalescer {
+	opt = opt.withDefaults()
+	c := &Coalescer{be: be, opt: opt}
+	c.stripes = make([]*stripe, opt.Stripes)
+	for i := range c.stripes {
+		c.stripes[i] = &stripe{}
+	}
+	return c
+}
+
+// ConnOpened / ConnClosed maintain the live connection count the gate
+// reads. The server calls them as handlers start and finish.
+func (c *Coalescer) ConnOpened() { c.conns.Add(1) }
+func (c *Coalescer) ConnClosed() { c.conns.Add(-1) }
+
+// Engaged reports whether submissions currently coalesce (the adaptive
+// gate): at least GateConns connections are registered.
+func (c *Coalescer) Engaged() bool {
+	return c.opt.GateConns >= 0 && c.conns.Load() >= int64(c.opt.GateConns)
+}
+
+// Gets resolves a run of point lookups: vals[i], found[i] receive the
+// result for keys[i]. Direct GetBatch below the gate; one shared grouped
+// lookup above it. A non-nil error means the round's backend call
+// panicked and the results are unusable.
+func (c *Coalescer) Gets(keys, vals []uint64, found []bool) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if !c.Engaged() {
+		c.be.GetBatch(keys, vals, found)
+		return nil
+	}
+	u := &unit{keys: keys, vals: vals, found: found}
+	if !c.submit(u) {
+		c.be.GetBatch(keys, vals, found)
+		return nil
+	}
+	return u.err
+}
+
+// Sets applies a run of upserts; in durable mode the call returns only
+// after the round's redo record committed (ack-after-commit preserved).
+func (c *Coalescer) Sets(pairs []index.KV) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	if !c.Engaged() {
+		return c.be.SetBatch(pairs)
+	}
+	u := &unit{pairs: pairs}
+	if !c.submit(u) {
+		return c.be.SetBatch(pairs)
+	}
+	return u.err
+}
+
+// Dels applies a run of deletes; delFound[i] reports whether dels[i]
+// existed. Deletes ride the same rounds (amortizing scheduling and lock
+// traffic) but drain as per-key backend calls — the protocol has no
+// grouped-delete redo record.
+func (c *Coalescer) Dels(dels []uint64, delFound []bool) error {
+	if len(dels) == 0 {
+		return nil
+	}
+	direct := func() error {
+		for i, k := range dels {
+			f, err := c.be.Del(k)
+			if err != nil {
+				return err
+			}
+			delFound[i] = f
+		}
+		return nil
+	}
+	if !c.Engaged() {
+		return direct()
+	}
+	u := &unit{dels: dels, delFound: delFound}
+	if !c.submit(u) {
+		return direct()
+	}
+	return u.err
+}
+
+// submit enqueues u on a stripe and returns once u's round has executed.
+// False means the coalescer is closed and the caller must go direct.
+//
+// Flat combining: if the stripe has no active combiner, the submitter
+// becomes it — it drains the queue (its own unit included) round by round
+// until empty, executing with the stripe unlocked so later submitters can
+// enqueue the next round meanwhile. Otherwise it parks on its unit; the
+// active combiner's re-check under the lock guarantees every enqueued
+// unit is seen before the combiner retires.
+func (c *Coalescer) submit(u *unit) bool {
+	st := c.stripes[c.rr.Add(1)%uint64(len(c.stripes))]
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return false
+	}
+	if st.combining {
+		// Parking: allocate the wakeup channel only on this path — the
+		// combiner's own unit never needs one, which keeps the sparse
+		// (combine-your-own-round) case allocation-light.
+		u.done = make(chan struct{})
+	}
+	if st.tail == nil {
+		st.head, st.tail = u, u
+	} else {
+		st.tail.next = u
+		st.tail = u
+	}
+	if st.combining {
+		st.mu.Unlock()
+		<-u.done
+		return true
+	}
+	st.combining = true
+	for st.head != nil {
+		head := st.head
+		st.head, st.tail = nil, nil
+		st.mu.Unlock()
+		c.exec(st, head)
+		st.mu.Lock()
+	}
+	st.combining = false
+	st.mu.Unlock()
+	// u rode one of the rounds this combiner just executed (exec settles
+	// u.err before closing done), so there is nothing to wait for.
+	return true
+}
+
+// exec runs one round: concatenate the units' runs into stripe scratch,
+// hit the backend's batch paths (chunked at MaxBatch), scatter results
+// back, record stats, and release the waiters. A panicking backend call
+// (a handler-contained event on the direct path) must not escape into the
+// combining connection's handler while other submitters stay parked
+// forever, so it is converted into an error on every unit still waiting.
+func (c *Coalescer) exec(st *stripe, head *unit) {
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("opsched: backend panic: %v", p)
+			for u := head; u != nil; {
+				next := u.next // read before close: a woken waiter owns u again
+				if !u.completed {
+					u.err = err
+					u.completed = true
+					if u.done != nil {
+						close(u.done)
+					}
+				}
+				u = next
+			}
+		}
+	}()
+	st.keys, st.vals, st.found = st.keys[:0], st.vals[:0], st.found[:0]
+	st.pairs = st.pairs[:0]
+	total := 0
+
+	// Writes first: a round is a set of concurrent ops, so intra-round
+	// order is free, but draining writes before reads keeps the common
+	// SET-then-GET test pattern intuitive when both land in one round.
+	var setErr error
+	for u := head; u != nil; u = u.next {
+		if len(u.pairs) > 0 {
+			st.pairs = append(st.pairs, u.pairs...)
+			total += len(u.pairs)
+		}
+	}
+	for off := 0; off < len(st.pairs); off += c.opt.MaxBatch {
+		end := off + c.opt.MaxBatch
+		if end > len(st.pairs) {
+			end = len(st.pairs)
+		}
+		if err := c.be.SetBatch(st.pairs[off:end]); err != nil && setErr == nil {
+			setErr = err
+		}
+	}
+
+	for u := head; u != nil; u = u.next {
+		if len(u.pairs) > 0 {
+			u.err = setErr
+		}
+		for i, k := range u.dels {
+			f, err := c.be.Del(k)
+			if err != nil {
+				u.err = err
+				break
+			}
+			u.delFound[i] = f
+			total++
+		}
+		if len(u.keys) > 0 {
+			st.keys = append(st.keys, u.keys...)
+			total += len(u.keys)
+		}
+	}
+
+	if len(st.keys) > 0 {
+		if cap(st.vals) < len(st.keys) {
+			st.vals = make([]uint64, len(st.keys))
+			st.found = make([]bool, len(st.keys))
+		}
+		vals, found := st.vals[:len(st.keys)], st.found[:len(st.keys)]
+		for off := 0; off < len(st.keys); off += c.opt.MaxBatch {
+			end := off + c.opt.MaxBatch
+			if end > len(st.keys) {
+				end = len(st.keys)
+			}
+			c.be.GetBatch(st.keys[off:end], vals[off:end], found[off:end])
+		}
+		pos := 0
+		for u := head; u != nil; u = u.next {
+			if len(u.keys) > 0 {
+				copy(u.vals, vals[pos:pos+len(u.keys)])
+				copy(u.found, found[pos:pos+len(u.keys)])
+				pos += len(u.keys)
+			}
+		}
+	}
+
+	c.batches.Add(1)
+	c.ops.Add(int64(total))
+	c.sizes[sizeBucket(total)].Add(1)
+
+	for u := head; u != nil; {
+		next := u.next // read before close: a woken waiter owns u again
+		u.completed = true
+		if u.done != nil {
+			close(u.done)
+		}
+		u = next
+	}
+}
+
+func sizeBucket(n int) int {
+	if n <= 8 {
+		if n < 1 {
+			n = 1
+		}
+		return n - 1
+	}
+	b := 8
+	for lim := 16; b < sizeBuckets-1 && n > lim; lim <<= 1 {
+		b++
+	}
+	return b
+}
+
+// bucketMid returns a representative size for histogram bucket b.
+func bucketMid(b int) int64 {
+	if b < 8 {
+		return int64(b + 1)
+	}
+	lo := int64(8) << uint(b-8)
+	return lo + lo/2
+}
+
+// Stats returns the coalescing counters the server folds into STATS:
+// rounds executed, ops carried, and the p50 round size.
+func (c *Coalescer) Stats() map[string]int64 {
+	st := map[string]int64{
+		"coalesce_batches": c.batches.Load(),
+		"coalesce_ops":     c.ops.Load(),
+	}
+	st["coalesce_p50_batch"] = c.quantileBatch(0.50)
+	return st
+}
+
+func (c *Coalescer) quantileBatch(q float64) int64 {
+	var counts [sizeBuckets]int64
+	var total int64
+	for i := range c.sizes {
+		counts[i] = c.sizes[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range counts {
+		cum += n
+		if cum >= target {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(sizeBuckets - 1)
+}
+
+// Close marks every stripe closed, so late submitters fall back to direct
+// calls. Units already enqueued are completed by their round's combiner
+// (every enqueued unit has one: itself or the one whose activity it saw
+// under the stripe lock). Call only after the server's handlers drained.
+func (c *Coalescer) Close() {
+	for _, st := range c.stripes {
+		st.mu.Lock()
+		st.closed = true
+		st.mu.Unlock()
+	}
+}

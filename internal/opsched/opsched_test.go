@@ -1,0 +1,342 @@
+package opsched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"altindex/internal/index"
+)
+
+// mapBackend is a stripe-locked map backend instrumented to count calls,
+// so tests can tell direct calls from coalesced rounds apart.
+type mapBackend struct {
+	mu        sync.Mutex
+	m         map[uint64]uint64
+	getCalls  atomic.Int64
+	setCalls  atomic.Int64
+	maxSetLen atomic.Int64
+}
+
+func newMapBackend() *mapBackend {
+	return &mapBackend{m: make(map[uint64]uint64)}
+}
+
+func (b *mapBackend) GetBatch(keys, vals []uint64, found []bool) {
+	b.getCalls.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, k := range keys {
+		vals[i], found[i] = b.m[k]
+	}
+}
+
+func (b *mapBackend) SetBatch(pairs []index.KV) error {
+	b.setCalls.Add(1)
+	for {
+		old := b.maxSetLen.Load()
+		if int64(len(pairs)) <= old || b.maxSetLen.CompareAndSwap(old, int64(len(pairs))) {
+			break
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range pairs {
+		b.m[p.Key] = p.Value
+	}
+	return nil
+}
+
+func (b *mapBackend) Del(k uint64) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.m[k]
+	delete(b.m, k)
+	return ok, nil
+}
+
+// TestGateDirect: below GateConns every call is a direct backend call and
+// no coalescing stats accrue.
+func TestGateDirect(t *testing.T) {
+	be := newMapBackend()
+	c := New(be, Options{GateConns: 8})
+	defer c.Close()
+
+	c.ConnOpened()
+	defer c.ConnClosed()
+	if c.Engaged() {
+		t.Fatal("gate engaged at 1 conn with GateConns=8")
+	}
+	if err := c.Sets([]index.KV{{Key: 1, Value: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, 1)
+	found := make([]bool, 1)
+	c.Gets([]uint64{1}, vals, found)
+	if !found[0] || vals[0] != 10 {
+		t.Fatalf("get(1) = (%d,%v), want (10,true)", vals[0], found[0])
+	}
+	st := c.Stats()
+	if st["coalesce_batches"] != 0 || st["coalesce_ops"] != 0 {
+		t.Fatalf("coalescing stats accrued below gate: %v", st)
+	}
+}
+
+// TestGateEngages: at GateConns registered connections submissions
+// coalesce — rounds form, ops flow through them, and results are correct.
+func TestGateEngages(t *testing.T) {
+	be := newMapBackend()
+	c := New(be, Options{GateConns: 2, Stripes: 1})
+	defer c.Close()
+
+	for i := 0; i < 2; i++ {
+		c.ConnOpened()
+		defer c.ConnClosed()
+	}
+	if !c.Engaged() {
+		t.Fatal("gate not engaged at 2 conns with GateConns=2")
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				k := uint64(g*n + i)
+				if err := c.Sets([]index.KV{{Key: k, Value: k + 1}}); err != nil {
+					t.Error(err)
+					return
+				}
+				vals := make([]uint64, 1)
+				found := make([]bool, 1)
+				c.Gets([]uint64{k}, vals, found)
+				if !found[0] || vals[0] != k+1 {
+					t.Errorf("get(%d) = (%d,%v), want (%d,true)", k, vals[0], found[0], k+1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st["coalesce_batches"] == 0 {
+		t.Fatal("no coalesced rounds formed above gate")
+	}
+	if st["coalesce_ops"] < st["coalesce_batches"] {
+		t.Fatalf("ops %d < batches %d", st["coalesce_ops"], st["coalesce_batches"])
+	}
+}
+
+// TestProvenanceAudit is the race-enabled N-writers × M-readers audit in
+// the repo's provenance style: every acked write of key k carries value
+// k<<20|attempt; concurrent readers may observe any attempt, but never a
+// value whose provenance decodes to the wrong key (no ghosts), and after
+// the writers drain a final sweep must see every key's last acked attempt
+// (no lost acked writes).
+func TestProvenanceAudit(t *testing.T) {
+	be := newMapBackend()
+	c := New(be, Options{GateConns: 1, Stripes: 2, MaxBatch: 32})
+	defer c.Close()
+
+	const (
+		writers  = 6
+		readers  = 4
+		keys     = 128
+		attempts = 40
+	)
+	for i := 0; i < writers+readers; i++ {
+		c.ConnOpened()
+		defer c.ConnClosed()
+	}
+	if !c.Engaged() {
+		t.Fatal("gate should be engaged")
+	}
+
+	// lastAcked[k] is the highest attempt number whose Sets call returned
+	// for key k; stored only after the ack, so it is a lower bound on
+	// what the final sweep must observe.
+	var lastAcked [keys]atomic.Int64
+	for k := range lastAcked {
+		lastAcked[k].Store(-1)
+	}
+	encode := func(k, attempt int) uint64 { return uint64(k)<<20 | uint64(attempt) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer owns a disjoint key slice so "last acked attempt"
+			// is well-defined per key without cross-writer coordination.
+			for a := 0; a < attempts; a++ {
+				var run []index.KV
+				for k := w; k < keys; k += writers {
+					run = append(run, index.KV{Key: uint64(k), Value: encode(k, a)})
+				}
+				if err := c.Sets(run); err != nil {
+					t.Error(err)
+					return
+				}
+				for k := w; k < keys; k += writers {
+					lastAcked[k].Store(int64(a))
+				}
+			}
+		}(w)
+	}
+
+	stopRead := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			lookup := make([]uint64, keys)
+			vals := make([]uint64, keys)
+			found := make([]bool, keys)
+			for i := range lookup {
+				lookup[i] = uint64(i)
+			}
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				c.Gets(lookup, vals, found)
+				for i := range lookup {
+					if !found[i] {
+						continue // writer may not have reached this key yet
+					}
+					if gotKey := vals[i] >> 20; gotKey != lookup[i] {
+						t.Errorf("ghost: key %d holds value with provenance key %d", lookup[i], gotKey)
+						return
+					}
+					if attempt := int64(vals[i] & 0xfffff); attempt >= attempts {
+						t.Errorf("ghost: key %d attempt %d out of range", lookup[i], attempt)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Interleave deletes of keys nobody writes (>= keys space) to keep the
+	// Dels path racing through the same rounds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dels := []uint64{1 << 30, 1<<30 + 1}
+		delFound := make([]bool, len(dels))
+		for i := 0; i < 200; i++ {
+			if err := c.Dels(dels, delFound); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stopRead)
+	rwg.Wait()
+
+	// Final sweep: every key must hold its last acked attempt exactly —
+	// writers are done, so nothing newer can be in flight.
+	vals := make([]uint64, keys)
+	found := make([]bool, keys)
+	lookup := make([]uint64, keys)
+	for i := range lookup {
+		lookup[i] = uint64(i)
+	}
+	c.Gets(lookup, vals, found)
+	for k := 0; k < keys; k++ {
+		want := lastAcked[k].Load()
+		if want < 0 {
+			continue
+		}
+		if !found[k] {
+			t.Fatalf("lost acked write: key %d absent, last acked attempt %d", k, want)
+		}
+		if got := int64(vals[k] & 0xfffff); got != int64(attempts-1) {
+			t.Fatalf("lost acked write: key %d at attempt %d, want %d", k, got, attempts-1)
+		}
+	}
+
+	st := c.Stats()
+	if st["coalesce_batches"] == 0 || st["coalesce_ops"] == 0 {
+		t.Fatalf("no coalescing under %d concurrent conns: %v", writers+readers, st)
+	}
+	mean := float64(st["coalesce_ops"]) / float64(st["coalesce_batches"])
+	if mean <= 1 {
+		t.Fatalf("mean batch %.2f, want > 1 (vector units alone guarantee this)", mean)
+	}
+	t.Logf("rounds=%d ops=%d mean=%.1f p50=%d backend SetBatch calls=%d maxSetLen=%d",
+		st["coalesce_batches"], st["coalesce_ops"], mean, st["coalesce_p50_batch"],
+		be.setCalls.Load(), be.maxSetLen.Load())
+}
+
+// TestMaxBatchChunking: a round larger than MaxBatch reaches the backend
+// in MaxBatch-sized chunks, never exceeding the cap.
+func TestMaxBatchChunking(t *testing.T) {
+	be := newMapBackend()
+	c := New(be, Options{GateConns: 1, Stripes: 1, MaxBatch: 8})
+	defer c.Close()
+	c.ConnOpened()
+	defer c.ConnClosed()
+
+	pairs := make([]index.KV, 50)
+	for i := range pairs {
+		pairs[i] = index.KV{Key: uint64(i), Value: uint64(i) * 3}
+	}
+	if err := c.Sets(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if got := be.maxSetLen.Load(); got > 8 {
+		t.Fatalf("backend saw SetBatch of %d, cap is 8", got)
+	}
+	keys := make([]uint64, 50)
+	vals := make([]uint64, 50)
+	found := make([]bool, 50)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	c.Gets(keys, vals, found)
+	for i := range keys {
+		if !found[i] || vals[i] != uint64(i)*3 {
+			t.Fatalf("get(%d) = (%d,%v)", i, vals[i], found[i])
+		}
+	}
+}
+
+// TestCloseFallback: submissions after Close fall back to direct backend
+// calls instead of blocking or panicking.
+func TestCloseFallback(t *testing.T) {
+	be := newMapBackend()
+	c := New(be, Options{GateConns: 1, Stripes: 1})
+	c.ConnOpened()
+	c.Close()
+	if err := c.Sets([]index.KV{{Key: 9, Value: 90}}); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, 1)
+	found := make([]bool, 1)
+	c.Gets([]uint64{9}, vals, found)
+	if !found[0] || vals[0] != 90 {
+		t.Fatalf("post-close get = (%d,%v), want (90,true)", vals[0], found[0])
+	}
+	c.ConnClosed()
+}
+
+func TestSizeBucket(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 0}, {1, 0}, {8, 7}, {9, 8}, {16, 8}, {17, 9}, {32, 9},
+		{4096, 16}, {5000, 17}, {1 << 20, 17},
+	} {
+		if got := sizeBucket(tc.n); got != tc.want {
+			t.Errorf("sizeBucket(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	if bucketMid(0) != 1 || bucketMid(7) != 8 || bucketMid(8) != 12 {
+		t.Errorf("bucketMid mapping off: %d %d %d", bucketMid(0), bucketMid(7), bucketMid(8))
+	}
+}

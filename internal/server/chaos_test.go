@@ -1,6 +1,6 @@
 //go:build failpoint
 
-package main
+package server
 
 import (
 	"errors"

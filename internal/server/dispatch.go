@@ -1,0 +1,193 @@
+package server
+
+// Slow-path command execution: multi-key requests, scans, stats, and the
+// structured-error replies for malformed point commands. The caller
+// (dispatch) has already settled the pending group, so these may reply
+// immediately. Replies are appended with strconv, not fmt, on success
+// paths; error paths may allocate.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"altindex"
+	"altindex/internal/netproto"
+)
+
+func (s *Server) dispatchSlow(cs *connState, cmd []byte, args [][]byte) {
+	switch {
+	case netproto.EqFold(cmd, "SET"):
+		if len(args) != 2 {
+			cs.out = fmt.Appendf(cs.out, "ERR %s SET <key> <value>\n", errUsage)
+			return
+		}
+		// The fast path rejected it, so one of the tokens is bad; report
+		// the first offender, matching single-token parse order.
+		if _, ok := netproto.ParseUint(args[0]); !ok {
+			cs.appendBadInt(args[0])
+			return
+		}
+		cs.appendBadInt(args[1])
+	case netproto.EqFold(cmd, "GET"):
+		if len(args) != 1 {
+			cs.out = fmt.Appendf(cs.out, "ERR %s GET <key>\n", errUsage)
+			return
+		}
+		cs.appendBadInt(args[0])
+	case netproto.EqFold(cmd, "DEL"):
+		if len(args) != 1 {
+			cs.out = fmt.Appendf(cs.out, "ERR %s DEL <key>\n", errUsage)
+			return
+		}
+		cs.appendBadInt(args[0])
+	case netproto.EqFold(cmd, "MGET"):
+		// Batched lookup through the index's native batch path: one
+		// model-table load and amortized routing for the whole request —
+		// and a single coalescer unit, so concurrent MGETs share rounds.
+		if len(args) == 0 {
+			cs.out = fmt.Appendf(cs.out, "ERR %s MGET <key> [key ...]\n", errUsage)
+			return
+		}
+		if len(args) > maxBatch {
+			cs.out = fmt.Appendf(cs.out, "ERR %s %d keys, max %d per MGET\n", errTooBig, len(args), maxBatch)
+			return
+		}
+		keys := cs.gKeys[:0]
+		for _, a := range args {
+			k, ok := netproto.ParseUint(a)
+			if !ok {
+				cs.appendBadInt(a)
+				return
+			}
+			keys = append(keys, k)
+		}
+		cs.gKeys = keys
+		n := len(keys)
+		cs.gVals = growU64(cs.gVals, n)
+		cs.gFound = growBool(cs.gFound, n)
+		err := s.co.Gets(keys, cs.gVals[:n], cs.gFound[:n])
+		if err != nil {
+			cs.out = fmt.Appendf(cs.out, "ERR %s %v\n", errInternal, err)
+			cs.gKeys = cs.gKeys[:0]
+			return
+		}
+		for i := 0; i < n; i++ {
+			if cs.gFound[i] {
+				cs.out = append(cs.out, "VALUE "...)
+				cs.out = strconv.AppendUint(cs.out, cs.gVals[i], 10)
+				cs.out = append(cs.out, '\n')
+			} else {
+				cs.out = append(cs.out, "NIL\n"...)
+			}
+			if !cs.budget() {
+				cs.gKeys = cs.gKeys[:0]
+				return
+			}
+		}
+		cs.gKeys = cs.gKeys[:0]
+		cs.out = append(cs.out, "END\n"...)
+	case netproto.EqFold(cmd, "MPUT"):
+		// Batched upsert via InsertBatch (one redo record in durable mode).
+		if len(args) == 0 || len(args)%2 != 0 {
+			cs.out = fmt.Appendf(cs.out, "ERR %s MPUT <key> <value> [key value ...]\n", errUsage)
+			return
+		}
+		if len(args)/2 > maxBatch {
+			cs.out = fmt.Appendf(cs.out, "ERR %s %d pairs, max %d per MPUT\n", errTooBig, len(args)/2, maxBatch)
+			return
+		}
+		pairs := cs.gPairs[:0]
+		for i := 0; i < len(args); i += 2 {
+			k, ok := netproto.ParseUint(args[i])
+			if !ok {
+				cs.appendBadInt(args[i])
+				return
+			}
+			v, ok := netproto.ParseUint(args[i+1])
+			if !ok {
+				cs.appendBadInt(args[i+1])
+				return
+			}
+			pairs = append(pairs, altindex.KV{Key: k, Value: v})
+		}
+		cs.gPairs = pairs
+		if err := s.co.Sets(pairs); err != nil {
+			cs.out = fmt.Appendf(cs.out, "ERR %s %v\n", errInternal, err)
+			cs.gPairs = cs.gPairs[:0]
+			return
+		}
+		cs.out = append(cs.out, "OK "...)
+		cs.out = strconv.AppendUint(cs.out, uint64(len(pairs)), 10)
+		cs.out = append(cs.out, '\n')
+		cs.gPairs = cs.gPairs[:0]
+	case netproto.EqFold(cmd, "SCAN"):
+		if len(args) != 2 {
+			cs.out = fmt.Appendf(cs.out, "ERR %s SCAN <start> <n>\n", errUsage)
+			return
+		}
+		start, ok := netproto.ParseUint(args[0])
+		if !ok {
+			cs.appendBadInt(args[0])
+			return
+		}
+		n, err := strconv.Atoi(string(args[1]))
+		if err != nil || n < 0 {
+			cs.out = fmt.Appendf(cs.out, "ERR %s %q is not a row count\n", errBadInt, args[1])
+			return
+		}
+		if n > 10000 {
+			n = 10000 // per-request cap
+		}
+		s.idx.Scan(start, n, func(k, v uint64) bool {
+			cs.out = append(cs.out, "PAIR "...)
+			cs.out = strconv.AppendUint(cs.out, k, 10)
+			cs.out = append(cs.out, ' ')
+			cs.out = strconv.AppendUint(cs.out, v, 10)
+			cs.out = append(cs.out, '\n')
+			return cs.budget() // stop streaming into a dead socket
+		})
+		cs.out = append(cs.out, "END\n"...)
+	case netproto.EqFold(cmd, "LEN"):
+		cs.out = append(cs.out, "VALUE "...)
+		cs.out = strconv.AppendUint(cs.out, uint64(s.idx.Len()), 10)
+		cs.out = append(cs.out, '\n')
+	case netproto.EqFold(cmd, "STATS"):
+		st := s.idx.StatsMap()
+		if s.dur != nil {
+			for k, v := range s.dur.Stats() {
+				st[k] = v
+			}
+		}
+		for k, v := range s.net.snapshot() {
+			st[k] = v
+		}
+		for k, v := range s.co.Stats() {
+			st[k] = v
+		}
+		keys := make([]string, 0, len(st))
+		for k := range st {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			cs.out = append(cs.out, "STAT "...)
+			cs.out = append(cs.out, k...)
+			cs.out = append(cs.out, ' ')
+			cs.out = strconv.AppendInt(cs.out, st[k], 10)
+			cs.out = append(cs.out, '\n')
+		}
+		cs.out = append(cs.out, "END\n"...)
+	default:
+		// Uppercase the echoed command name, matching the historical
+		// strings.ToUpper-based reply.
+		up := make([]byte, len(cmd))
+		for i, c := range cmd {
+			if c >= 'a' && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			up[i] = c
+		}
+		cs.out = fmt.Appendf(cs.out, "ERR %s command %q\n", errUnknown, up)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"fmt"
@@ -199,14 +199,17 @@ func TestDurableExclusiveWithSnapshot(t *testing.T) {
 // The wal/sync failpoint stretches each fsync so writers provably queue
 // behind an in-flight group even when the host serializes the goroutines
 // (a loaded 1-vCPU box can otherwise run the writers back-to-back and
-// give every commit a private fsync).
+// give every commit a private fsync). Cross-connection coalescing is
+// disabled so every SET keeps its own redo record — the test isolates the
+// WAL layer's amortization, not the op scheduler's (which would otherwise
+// merge concurrent SETs into shared Mput records and shrink wal_appends).
 func TestDurableGroupCommit(t *testing.T) {
 	if err := failpoint.Enable("wal/sync", "delay(2ms)"); err != nil {
 		t.Fatal(err)
 	}
 	defer failpoint.Disable("wal/sync")
 	dir := t.TempDir()
-	srv, addr := startDurable(t, dir, Config{WALSync: "always"})
+	srv, addr := startDurable(t, dir, Config{WALSync: "always", CoalesceConns: -1})
 	defer srv.Shutdown()
 	const writers, per = 8, 100
 	errs := make(chan error, writers)

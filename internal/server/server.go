@@ -1,23 +1,34 @@
-package main
+// Package server implements the altdb protocol engine: a tiny in-memory
+// key/value database over TCP with ALT-index underneath, hardened for
+// unattended operation and (optionally) fully durable via a write-ahead
+// log with incremental checkpoints.
+//
+// The network hot path is pipelined: a connection's handler parses and
+// dispatches every complete request line already buffered before flushing
+// replies once per wakeup, so a client that pipelines N requests pays one
+// write syscall per batch instead of one per command. Runs of consecutive
+// point commands (GET/SET/DEL) are grouped through the index's batched
+// fast path, and above a configurable connection count the groups of all
+// connections coalesce into shared batches (see internal/opsched).
+package server
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"altindex"
 	"altindex/internal/failpoint"
+	"altindex/internal/opsched"
 	"altindex/internal/wal"
 )
 
-// maxBatch caps the number of keys one MGET/MPUT request may carry.
+// maxBatch caps the number of keys one MGET/MPUT request may carry, and
+// the size of one grouped point-command run.
 const maxBatch = 4096
 
 // maxLineBytes sizes the per-connection line buffer for the largest legal
@@ -54,11 +65,27 @@ type Config struct {
 	// ReadTimeout bounds the wait for the next request line; an idle or
 	// stalled-writer client is disconnected when it expires.
 	ReadTimeout time.Duration
-	// WriteTimeout bounds flushing one reply; a client that stops reading
-	// its replies (stalled reader) is disconnected when it expires.
+	// WriteTimeout bounds flushing one reply batch; a client that stops
+	// reading its replies (stalled reader) is disconnected when it expires.
 	WriteTimeout time.Duration
 	// DrainTimeout bounds Shutdown's wait for in-flight handlers.
 	DrainTimeout time.Duration
+	// LegacyLoop selects the pre-pipelining connection loop: one reply
+	// flush per command and no point-command grouping. It shares the
+	// allocation-free dispatcher with the pipelined loop and exists as
+	// the measured baseline for the net-path benchmarks (and as a
+	// fallback switch).
+	LegacyLoop bool
+	// CoalesceConns is the live-connection count at or above which point
+	// ops from different connections coalesce into shared index batches
+	// (0 = 8; negative disables coalescing). Below the gate every command
+	// keeps direct-call latency.
+	CoalesceConns int
+	// IdleReleaseAfter is how long a connection's previous read blocked
+	// before its pooled 64KiB buffers are returned while it parks on the
+	// next read (0 = 100ms; negative disables idle release). Busy
+	// pipelined connections never hit this.
+	IdleReleaseAfter time.Duration
 	// SnapshotPath, when set, is loaded at startup (if present) and
 	// written on graceful shutdown, via the crash-safe snapshot cycle.
 	SnapshotPath string
@@ -110,17 +137,43 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.IdleReleaseAfter == 0 {
+		c.IdleReleaseAfter = 100 * time.Millisecond
+	}
 	return c
 }
 
+// netStats are the wire-level counters surfaced in STATS: they make the
+// pipelining and coalescing effects observable (flushes/op, bytes moved,
+// idle buffer releases) without a profiler.
+type netStats struct {
+	cmds        atomic.Int64 // dispatched commands (non-empty lines)
+	flushes     atomic.Int64 // reply write syscalls
+	bytesIn     atomic.Int64 // bytes read off client sockets
+	bytesOut    atomic.Int64 // reply bytes written
+	bufReleases atomic.Int64 // idle-park buffer returns to the pool
+}
+
+func (n *netStats) snapshot() map[string]int64 {
+	return map[string]int64{
+		"net_cmds":         n.cmds.Load(),
+		"net_flushes":      n.flushes.Load(),
+		"net_bytes_in":     n.bytesIn.Load(),
+		"net_bytes_out":    n.bytesOut.Load(),
+		"net_buf_releases": n.bufReleases.Load(),
+	}
+}
+
 // Server is the altdb protocol engine: a single keyspace on one ALT-index.
-// Exposed as a type (rather than inline in main) so tests can drive it over
-// a real connection.
+// Exposed as a package (rather than inline in the altdb main) so tests
+// and the net-path bench harness can drive it over a real connection.
 type Server struct {
 	cfg Config
 	idx altindex.Index
 	dur *durableStore // non-nil when cfg.WALDir is set; owns idx's durability
+	co  *opsched.Coalescer
 	sem chan struct{} // connection slots; acquired before Accept
+	net netStats
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -183,15 +236,27 @@ func NewServerWith(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("altdb: snapshot %s: %w", cfg.SnapshotPath, err)
 		}
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		idx:   idx,
 		dur:   dur,
 		sem:   make(chan struct{}, cfg.MaxConns),
 		conns: map[net.Conn]struct{}{},
 		done:  make(chan struct{}),
-	}, nil
+	}
+	s.co = opsched.New(backend{s}, opsched.Options{GateConns: cfg.CoalesceConns, MaxBatch: maxBatch})
+	return s, nil
 }
+
+// backend adapts the server's mutation routing (durable or direct) to the
+// coalescer's sink interface. SetBatch maps to the durable store's Mput in
+// durable mode, so every coalesced write acks after its group's redo
+// record commits.
+type backend struct{ s *Server }
+
+func (b backend) GetBatch(keys, vals []uint64, found []bool) { b.s.idx.GetBatch(keys, vals, found) }
+func (b backend) SetBatch(pairs []altindex.KV) error         { return b.s.mput(pairs) }
+func (b backend) Del(k uint64) (bool, error)                 { return b.s.del(k) }
 
 // Serve accepts connections until the listener closes or Shutdown is
 // called. A connection slot is acquired before Accept, so when MaxConns
@@ -236,7 +301,7 @@ func (s *Server) Shutdown() error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	// Unblock handlers parked in Scan: an immediate read deadline makes
+	// Unblock handlers parked in a read: an immediate read deadline makes
 	// the pending read fail while completed replies stay flushed. Writes
 	// keep their own (fresh) deadline, so an in-flight reply finishes.
 	for c := range s.conns {
@@ -256,6 +321,10 @@ func (s *Server) Shutdown() error {
 		err = fmt.Errorf("altdb: %d connections still draining after %v",
 			len(s.snapshotConns()), s.cfg.DrainTimeout)
 	}
+	// Stop the coalescer's drainers; a handler that outlived the drain
+	// timeout falls back to direct index calls (opsched close semantics),
+	// so this is safe even on a timed-out drain.
+	s.co.Close()
 	if s.dur != nil {
 		// Final full checkpoint + log close: every acknowledged write is
 		// already in the WAL, so even a failed checkpoint loses nothing —
@@ -272,6 +341,22 @@ func (s *Server) Shutdown() error {
 		}
 	}
 	return err
+}
+
+// Preload bulk-upserts pairs through the server's normal write routing
+// (durable or direct), bypassing the wire protocol. Benchmark harnesses
+// use it to seed the keyspace before measurement.
+func (s *Server) Preload(pairs []altindex.KV) error {
+	for off := 0; off < len(pairs); off += maxBatch {
+		end := off + maxBatch
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		if err := s.mput(pairs[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // put, del and mput route mutations through the durable store when one is
@@ -307,6 +392,8 @@ func (s *Server) snapshotConns() []net.Conn {
 	return out
 }
 
+// handle runs one connection's protocol loop (see proto.go) and releases
+// its slot, socket and pooled buffers on the way out.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -316,236 +403,14 @@ func (s *Server) handle(conn net.Conn) {
 		<-s.sem
 		s.handlers.Done()
 	}()
+	s.co.ConnOpened()
+	defer s.co.ConnClosed()
 
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 64*1024), maxLineBytes)
-	w := bufio.NewWriter(conn)
-	defer w.Flush()
-
-	for {
-		select {
-		case <-s.done:
-			return
-		default:
-		}
-		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		if !r.Scan() {
-			if errors.Is(r.Err(), bufio.ErrTooLong) {
-				// The scanner cannot resynchronize mid-line; report and
-				// drop the connection.
-				fmt.Fprintf(w, "ERR %s line exceeds %d bytes\n", errTooLong, maxLineBytes)
-				s.flush(conn, w)
-			}
-			return
-		}
-		line := strings.TrimSpace(r.Text())
-		if line == "" {
-			continue
-		}
-		if strings.EqualFold(line, "QUIT") {
-			fmt.Fprintln(w, "BYE")
-			s.flush(conn, w)
-			return
-		}
-		if !s.dispatchRecover(w, line) {
-			s.flush(conn, w)
-			return
-		}
-		if !s.flush(conn, w) {
-			return
-		}
+	cs := newConnState(s, conn)
+	defer cs.release()
+	if s.cfg.LegacyLoop {
+		s.serveLegacy(cs)
+		return
 	}
-}
-
-// flush writes the buffered replies under the write deadline; false means
-// the client is not draining its socket (or is gone) and the connection
-// should be dropped.
-func (s *Server) flush(conn net.Conn, w *bufio.Writer) bool {
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	return w.Flush() == nil
-}
-
-// dispatchRecover contains a panicking handler to its own connection: the
-// client gets a structured internal error and is disconnected, while every
-// other connection (and the process) keeps serving. ok=false asks the
-// caller to close the connection.
-func (s *Server) dispatchRecover(w *bufio.Writer, line string) (ok bool) {
-	defer func() {
-		if p := recover(); p != nil {
-			fmt.Fprintf(w, "ERR %s %v\n", errInternal, p)
-			ok = false
-		}
-	}()
-	s.dispatch(w, line)
-	return true
-}
-
-func (s *Server) dispatch(w *bufio.Writer, line string) {
-	fpDispatch.Inject()
-	fields := strings.Fields(line)
-	cmd := strings.ToUpper(fields[0])
-	args := fields[1:]
-	switch cmd {
-	case "SET":
-		if len(args) != 2 {
-			fmt.Fprintf(w, "ERR %s SET <key> <value>\n", errUsage)
-			return
-		}
-		k, ok := parseU64(w, args[0])
-		if !ok {
-			return
-		}
-		v, ok := parseU64(w, args[1])
-		if !ok {
-			return
-		}
-		if err := s.put(k, v); err != nil {
-			fmt.Fprintf(w, "ERR %s %v\n", errInternal, err)
-			return
-		}
-		fmt.Fprintln(w, "OK")
-	case "GET":
-		if len(args) != 1 {
-			fmt.Fprintf(w, "ERR %s GET <key>\n", errUsage)
-			return
-		}
-		k, ok := parseU64(w, args[0])
-		if !ok {
-			return
-		}
-		if v, found := s.idx.Get(k); found {
-			fmt.Fprintf(w, "VALUE %d\n", v)
-		} else {
-			fmt.Fprintln(w, "NIL")
-		}
-	case "MGET":
-		// Batched lookup through the index's native batch path: one
-		// model-table load and amortized routing for the whole request.
-		if len(args) == 0 {
-			fmt.Fprintf(w, "ERR %s MGET <key> [key ...]\n", errUsage)
-			return
-		}
-		if len(args) > maxBatch {
-			fmt.Fprintf(w, "ERR %s %d keys, max %d per MGET\n", errTooBig, len(args), maxBatch)
-			return
-		}
-		keys := make([]uint64, len(args))
-		for i, a := range args {
-			k, ok := parseU64(w, a)
-			if !ok {
-				return
-			}
-			keys[i] = k
-		}
-		vals := make([]uint64, len(keys))
-		found := make([]bool, len(keys))
-		s.idx.GetBatch(keys, vals, found)
-		for i := range keys {
-			if found[i] {
-				fmt.Fprintf(w, "VALUE %d\n", vals[i])
-			} else {
-				fmt.Fprintln(w, "NIL")
-			}
-		}
-		fmt.Fprintln(w, "END")
-	case "MPUT":
-		// Batched upsert via InsertBatch.
-		if len(args) == 0 || len(args)%2 != 0 {
-			fmt.Fprintf(w, "ERR %s MPUT <key> <value> [key value ...]\n", errUsage)
-			return
-		}
-		if len(args)/2 > maxBatch {
-			fmt.Fprintf(w, "ERR %s %d pairs, max %d per MPUT\n", errTooBig, len(args)/2, maxBatch)
-			return
-		}
-		pairs := make([]altindex.KV, len(args)/2)
-		for i := 0; i < len(args); i += 2 {
-			k, ok := parseU64(w, args[i])
-			if !ok {
-				return
-			}
-			v, ok := parseU64(w, args[i+1])
-			if !ok {
-				return
-			}
-			pairs[i/2] = altindex.KV{Key: k, Value: v}
-		}
-		if err := s.mput(pairs); err != nil {
-			fmt.Fprintf(w, "ERR %s %v\n", errInternal, err)
-			return
-		}
-		fmt.Fprintf(w, "OK %d\n", len(pairs))
-	case "DEL":
-		if len(args) != 1 {
-			fmt.Fprintf(w, "ERR %s DEL <key>\n", errUsage)
-			return
-		}
-		k, ok := parseU64(w, args[0])
-		if !ok {
-			return
-		}
-		found, err := s.del(k)
-		if err != nil {
-			fmt.Fprintf(w, "ERR %s %v\n", errInternal, err)
-			return
-		}
-		if found {
-			fmt.Fprintln(w, "OK")
-		} else {
-			fmt.Fprintln(w, "NIL")
-		}
-	case "SCAN":
-		if len(args) != 2 {
-			fmt.Fprintf(w, "ERR %s SCAN <start> <n>\n", errUsage)
-			return
-		}
-		start, ok := parseU64(w, args[0])
-		if !ok {
-			return
-		}
-		n, err := strconv.Atoi(args[1])
-		if err != nil || n < 0 {
-			fmt.Fprintf(w, "ERR %s %q is not a row count\n", errBadInt, args[1])
-			return
-		}
-		if n > 10000 {
-			n = 10000 // per-request cap
-		}
-		s.idx.Scan(start, n, func(k, v uint64) bool {
-			fmt.Fprintf(w, "PAIR %d %d\n", k, v)
-			return true
-		})
-		fmt.Fprintln(w, "END")
-	case "LEN":
-		fmt.Fprintf(w, "VALUE %d\n", s.idx.Len())
-	case "STATS":
-		st := s.idx.StatsMap()
-		if s.dur != nil {
-			for k, v := range s.dur.Stats() {
-				st[k] = v
-			}
-		}
-		keys := make([]string, 0, len(st))
-		for k := range st {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Fprintf(w, "STAT %s %d\n", k, st[k])
-		}
-		fmt.Fprintln(w, "END")
-	default:
-		fmt.Fprintf(w, "ERR %s command %q\n", errUnknown, cmd)
-	}
-}
-
-// parseU64 parses one key/value token, emitting a structured BADINT error
-// naming the offending token on failure.
-func parseU64(w *bufio.Writer, tok string) (uint64, bool) {
-	v, err := strconv.ParseUint(tok, 10, 64)
-	if err != nil {
-		fmt.Fprintf(w, "ERR %s %q is not a uint64\n", errBadInt, tok)
-		return 0, false
-	}
-	return v, true
+	s.servePipelined(cs)
 }

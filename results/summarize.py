@@ -100,6 +100,45 @@ def summarize_shards(path):
                 )
 
 
+def summarize_net(path):
+    """Net-path grid: per (conns, depth), legacy vs pipelined Kops, the
+    pipelined/legacy speedup, flushes per command, and the coalescing
+    counters. Rows come from altbench -net (Experiment == net-path)."""
+    doc = json.load(open(path))
+    cells = {}  # (conns, depth) -> mode -> run
+    for run in doc.get("Runs", []):
+        if run.get("Experiment") != "net-path":
+            continue
+        m = re.match(r"net-balanced c(\d+) d(\d+)", run.get("Mix", ""))
+        if not m:
+            continue
+        mode = "legacy" if run["Index"] == "net-legacy" else "pipelined"
+        cells.setdefault((int(m.group(1)), int(m.group(2))), {})[mode] = run
+    if not cells:
+        print(f"{path}: no net-path rows found")
+        return
+    print("\n== net path: served throughput (Kops), legacy vs pipelined ==")
+    print(
+        f"{'conns':>5s} {'depth':>5s} {'legacy':>9s} {'pipelined':>9s} {'speedup':>8s}"
+        f" {'fl/op':>6s} {'corounds':>8s} {'comean':>7s}"
+    )
+    for (conns, depth) in sorted(cells):
+        bymode = cells[(conns, depth)]
+        leg = bymode.get("legacy", {}).get("Mops", 0.0) * 1e3
+        pip = bymode.get("pipelined", {}).get("Mops", 0.0) * 1e3
+        speed = f"{pip/leg:7.2f}x" if leg and pip else f"{'-':>8s}"
+        st = (bymode.get("pipelined") or bymode.get("legacy") or {}).get("Stats") or {}
+        flop = st.get("net_flushes", 0) / max(st.get("net_cmds", 1), 1)
+        rounds = st.get("coalesce_batches", 0)
+        comean = st.get("coalesce_ops", 0) / rounds if rounds else 0.0
+        leg_s = f"{leg:9.1f}" if leg else f"{'-':>9s}"
+        pip_s = f"{pip:9.1f}" if pip else f"{'-':>9s}"
+        print(
+            f"{conns:>5d} {depth:>5d} {leg_s} {pip_s} {speed}"
+            f" {flop:>6.3f} {rounds:>8d} {comean:>7.1f}"
+        )
+
+
 def load_rows(path):
     """Index an altbench -json artifact by (Experiment, Index, Dataset, Mix, Threads)."""
     doc = json.load(open(path))
@@ -205,7 +244,12 @@ def main(*argv):
         sys.exit(1 if compare(rest[0], rest[1], threshold) else 0)
     path = argv[0] if argv else "results/experiments_raw.txt"
     if path.endswith(".json"):
-        summarize_shards(path)
+        doc = json.load(open(path))
+        experiments = {r.get("Experiment") for r in doc.get("Runs", [])}
+        if "net-path" in experiments:
+            summarize_net(path)
+        if experiments - {"net-path"}:
+            summarize_shards(path)
     else:
         summarize_raw(path)
 
