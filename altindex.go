@@ -36,6 +36,7 @@ type Index interface {
 	index.Concurrent
 	index.Batcher
 	index.Stats
+	index.RangeAppender
 
 	// Quiesce blocks until background retraining triggered so far has
 	// drained, giving deterministic checkpoints (Save requires one).

@@ -121,6 +121,7 @@ func Experiments() []Experiment {
 		{"wal-commit", "WAL group commit: commits/s vs fsyncs/s per sync policy x writers, plus replay speed", WALCommit},
 		{"rebalance", "Adaptive rebalancing: moving 90/10 hotspot, split/merge controller vs static boundaries", Rebalance},
 		{"net-path", "Net path: pipelined protocol loop + cross-connection coalescing vs per-command baseline over TCP", NetPath},
+		{"scan-path", "Scan path: block-run kernel vs per-slot baseline, lengths 10..10k, idle and concurrent-writer", ScanPath},
 	}
 }
 

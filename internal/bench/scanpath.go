@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"altindex/internal/core"
+	"altindex/internal/dataset"
+	"altindex/internal/workload"
+	"altindex/internal/xrand"
+)
+
+// scanLengths is the scan-path experiment's range-length axis: from the
+// paper's short scans (Fig 8(c) uses 100) down to point-adjacent and up to
+// analytics-sized ranges where the block kernel's per-block validation and
+// the bulk merge dominate.
+var scanLengths = []int{10, 100, 1000, 10000}
+
+// ScanPath measures the vectorized range-scan engine against the per-slot
+// baseline it replaced. Both rows drive the same public Scan API over the
+// same index build — ALT-scan-perslot is the pre-kernel path preserved
+// verbatim behind Options.DisableScanKernel, so the speedup column is the
+// kernel's contribution alone, not a harness difference.
+//
+// Grid: engine x {libio, osm} x scan length {10,100,1k,10k} x {idle,
+// writer}. The writer mode runs one background updater hammering random
+// loaded keys, so scans keep colliding with locked slots and the kernel's
+// per-slot fallback is exercised, not just its clean fast path. Every cell
+// is the median of three runs; the metric is emitted keys per second
+// (Mops = Mkeys/s), which is what a streaming SELECT range pays for.
+//
+// The index is built once per engine x dataset — bulkload half, insert the
+// other half so the ART layer holds real residents and the learned/ART
+// merge runs on every scan — then reused across cells: idle cells do not
+// mutate it and writer cells only update values in place.
+func ScanPath(p Params) {
+	p = p.withDefaults()
+	header(p, "Scan path: block-run kernel vs per-slot baseline, emitted keys/s")
+	tw := newTable(p.Out)
+	fmt.Fprintln(tw, "Engine\tDataset\tLen\tMode\tScans\tMkeys/s\tKeys/scan\tWriterOps")
+	engines := []struct {
+		name string
+		opts core.Options
+	}{
+		{"ALT-scan-kernel", core.Options{}},
+		{"ALT-scan-perslot", core.Options{DisableScanKernel: true}},
+	}
+	for _, eng := range engines {
+		for _, ds := range []dataset.Name{dataset.Libio, dataset.OSM} {
+			alt, starts := buildScanIndex(eng.opts, ds, p.Keys, p.Seed)
+			for _, length := range scanLengths {
+				for _, writers := range []int{0, 1} {
+					mode := "idle"
+					if writers > 0 {
+						mode = "writer"
+					}
+					const reps = 3
+					runs := make([]Result, 0, reps)
+					for rep := 0; rep < reps; rep++ {
+						runs = append(runs, scanPathCell(alt, eng.name, ds, starts, length, writers, p, uint64(rep)))
+					}
+					sort.Slice(runs, func(i, j int) bool { return runs[i].Mops < runs[j].Mops })
+					r := runs[reps/2]
+					p.record(r)
+					keysPerScan := float64(r.Ops) / float64(r.Stats["scans"])
+					fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%.2f\t%.1f\t%d\n",
+						r.Index, ds, length, mode,
+						r.Stats["scans"], r.Mops, keysPerScan, r.Stats["writer_ops"])
+				}
+			}
+			alt.Close()
+		}
+	}
+	tw.Flush()
+}
+
+// buildScanIndex builds the shared index for one engine x dataset: half
+// bulkloaded, half inserted (populating the ART layer through conflict
+// eviction), retraining drained. It returns the index plus a pseudorandom
+// start-key schedule drawn from the loaded half so every scan begins on a
+// resident key.
+func buildScanIndex(opts core.Options, ds dataset.Name, nkeys int, seed uint64) (*core.ALT, []uint64) {
+	loaded, pending := workload.SplitLoad(dataset.Generate(ds, nkeys, seed), 0.5, seed)
+	alt := core.New(opts)
+	if err := alt.Bulkload(dataset.Pairs(loaded)); err != nil {
+		panic(fmt.Sprintf("bench: scan-path bulkload: %v", err))
+	}
+	if err := alt.InsertBatch(dataset.Pairs(pending)); err != nil {
+		panic(fmt.Sprintf("bench: scan-path insert: %v", err))
+	}
+	alt.Quiesce()
+
+	starts := make([]uint64, 1<<14)
+	rng := xrand.New(seed ^ 0x5CA9)
+	for i := range starts {
+		starts[i] = loaded[rng.Intn(len(loaded))]
+	}
+	return alt, starts
+}
+
+// scanPathCell times one grid cell: a fixed budget of scans (scaled so
+// every length moves a comparable number of keys) against the shared
+// index, with `writers` background updaters running for the cell's
+// duration. Returns a Result whose Ops is the emitted-key count and whose
+// Mops is Mkeys/s.
+func scanPathCell(alt *core.ALT, engine string, ds dataset.Name, starts []uint64, length, writers int, p Params, rep uint64) Result {
+	scans := p.Ops / length
+	if scans < 100 {
+		scans = 100
+	}
+	if scans > 100_000 {
+		scans = 100_000
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writerOps atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(p.Seed ^ rep<<8 ^ uint64(w)<<16 ^ 0xBEEF)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := starts[rng.Intn(len(starts))]
+				alt.Update(k, dataset.ValueFor(k))
+				writerOps.Add(1)
+			}
+		}(w)
+	}
+	// On small hosts a short cell can finish before the updaters are even
+	// scheduled, silently degrading writer cells to idle ones. Hold the
+	// timed loop until contention is real.
+	for writers > 0 && writerOps.Load() < int64(writers) {
+		runtime.Gosched()
+	}
+
+	emitted := 0
+	si := int(rep) * 977 // offset reps into the schedule so they differ
+	t0 := time.Now()
+	for i := 0; i < scans; i++ {
+		alt.Scan(starts[(si+i)%len(starts)], length, func(uint64, uint64) bool {
+			emitted++
+			return true
+		})
+	}
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+
+	mode := "idle"
+	if writers > 0 {
+		mode = "writer"
+	}
+	return Result{
+		Index:   engine,
+		Dataset: ds,
+		Mix:     fmt.Sprintf("scan%d-%s", length, mode),
+		Threads: 1 + writers,
+		Ops:     emitted,
+		Elapsed: elapsed,
+		Mops:    float64(emitted) / elapsed.Seconds() / 1e6,
+		Mem:     alt.MemoryUsage(),
+		Len:     alt.Len(),
+		Stats: map[string]int64{
+			"scans":      int64(scans),
+			"scan_len":   int64(length),
+			"writer_ops": writerOps.Load(),
+		},
+	}
+}

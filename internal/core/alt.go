@@ -62,6 +62,12 @@ type Options struct {
 	// DisableWriteBack turns off moving ART-resident keys back into
 	// freed GPL slots during lookups (Algorithm 2 lines 10-13).
 	DisableWriteBack bool
+	// DisableScanKernel routes Scan through the pre-kernel per-slot path
+	// (one seqlock validation per slot, per-key 3-way merge) instead of
+	// the block-granular run kernel. Kept as the measured baseline for
+	// the scan-path experiment and as an escape hatch; ScanAppend always
+	// uses the kernel.
+	DisableScanKernel bool
 	// AutoTrainThreshold makes an index that was never Bulkloaded train
 	// its learned layer automatically once the ART layer holds this many
 	// keys. Zero selects 8192; negative disables automatic training.

@@ -268,15 +268,19 @@ func TestRetrainingTriggersAndPreserves(t *testing.T) {
 	if st["retrain_pending"] != 0 || st["retrains_inflight"] != 0 {
 		t.Fatalf("pipeline not drained after Quiesce (stats %v)", st)
 	}
-	if alt.Len() != len(keys) {
-		t.Fatalf("Len = %d, want %d", alt.Len(), len(keys))
+	total := len(loaded) + len(pending)
+	if alt.Len() != total {
+		t.Fatalf("Len = %d, want %d", alt.Len(), total)
 	}
-	for _, k := range keys {
-		if v, ok := alt.Get(k); !ok || v != dataset.ValueFor(k) {
-			t.Fatalf("Get(%d) = %d,%v after retraining", k, v, ok)
+	// HotSplit consumes keys, so verify through the two halves it returned.
+	for _, half := range [][]uint64{loaded, pending} {
+		for _, k := range half {
+			if v, ok := alt.Get(k); !ok || v != dataset.ValueFor(k) {
+				t.Fatalf("Get(%d) = %d,%v after retraining", k, v, ok)
+			}
 		}
 	}
-	if st["learned_keys"]+st["art_keys"] != int64(len(keys)) {
+	if st["learned_keys"]+st["art_keys"] != int64(total) {
 		t.Fatalf("layer split broken after retraining: %v", st)
 	}
 }
@@ -291,9 +295,11 @@ func TestRetrainingDisabled(t *testing.T) {
 	if alt.StatsMap()["retrains"] != 0 {
 		t.Fatal("retraining ran while disabled")
 	}
-	for _, k := range keys {
-		if _, ok := alt.Get(k); !ok {
-			t.Fatalf("key %d lost without retraining", k)
+	for _, half := range [][]uint64{loaded, pending} {
+		for _, k := range half {
+			if _, ok := alt.Get(k); !ok {
+				t.Fatalf("key %d lost without retraining", k)
+			}
 		}
 	}
 }

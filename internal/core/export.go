@@ -39,7 +39,7 @@ func (t *ALT) ResidentKeys(max int) []uint64 {
 	if stride < 1 {
 		stride = 1
 	}
-	out := make([]uint64, 0, minInt(max, total/stride+1))
+	out := make([]uint64, 0, min(max, total/stride+1))
 	for _, m := range tab.models {
 		for s := 0; s < m.nslots && len(out) < max; s += stride {
 			k, _, st, ok := m.read(s)

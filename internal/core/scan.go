@@ -2,16 +2,19 @@ package core
 
 import (
 	"iter"
+	"math/bits"
 	"sync"
 
 	"altindex/internal/index"
 )
 
-// scanBufs is the per-scan scratch: the learned-layer slot stream and the
-// ART-layer result buffer. Pooled so repeated scans allocate nothing.
+// scanBufs is the per-scan scratch: the learned-layer run buffer, the
+// ART-layer result buffer, and the output buffer the Scan shim merges
+// into. Pooled so repeated scans allocate nothing.
 type scanBufs struct {
 	learned []index.KV
 	art     []index.KV
+	out     []index.KV
 }
 
 var scanBufPool = sync.Pool{New: func() any { return new(scanBufs) }}
@@ -27,20 +30,317 @@ func putScanBufs(b *scanBufs) {
 	if cap(b.art) > maxPooledScanKV {
 		b.art = nil
 	}
+	if cap(b.out) > maxPooledScanKV {
+		b.out = nil
+	}
 	scanBufPool.Put(b)
+}
+
+// ScanAppend appends up to max pairs with keys in [start, end) to dst in
+// ascending key order and returns the extended slice (§III-G Range Query,
+// bounded). end == ^uint64(0) is the "no upper bound" sentinel: the window
+// then includes key MaxUint64 itself, matching Scan's unbounded contract —
+// the one key a half-open bound cannot express an exclusion for. Any other
+// end <= start yields an empty window.
+//
+// The learned layer is read through a block-granular run kernel (one
+// seqlock validation per 8-slot block, per-slot fallback only on
+// contention) and merged with the ART layer span-wise; equal keys —
+// possible only inside a migration window — are deduplicated in favour of
+// the learned copy. Callers that reuse dst across scans pay zero
+// allocations.
+func (t *ALT) ScanAppend(dst []index.KV, start, end uint64, max int) []index.KV {
+	if max <= 0 || (end != ^uint64(0) && end <= start) {
+		return dst
+	}
+	bufs := scanBufPool.Get().(*scanBufs)
+	defer putScanBufs(bufs)
+	return t.scanAppend(dst, bufs, start, end, max)
+}
+
+// scanAppend is the shared bounded-scan core behind ScanAppend and the
+// Scan shim; the caller owns bufs (pooled) and has validated the window.
+func (t *ALT) scanAppend(dst []index.KV, bufs *scanBufs, start, end uint64, max int) []index.KV {
+	hi := end // inclusive upper bound
+	if end != ^uint64(0) {
+		hi = end - 1
+	}
+	// One pin covers the whole merge: collectRuns dereferences every model
+	// of the loaded table, so none of them may be reclaimed before the
+	// scan finishes.
+	g := t.ebr.Pin()
+	defer g.Unpin()
+	for attempt := 0; ; attempt++ {
+		tab := t.tab.Load()
+		if len(tab.models) == 0 {
+			return t.tree.AppendRange(dst, start, hi, max)
+		}
+		var ok bool
+		bufs.learned, ok = t.collectRuns(tab, start, hi, max, bufs.learned[:0])
+		if ok || attempt >= 4 {
+			break
+		}
+	}
+	// Learned-bounded ART window: when the learned run is full (max pairs),
+	// its last key L caps the merge — the first max keys of the union are
+	// all <= L, so ART keys above L cannot surface and their subtrees need
+	// not be walked at all. With a mostly-learned index this shrinks the
+	// ART traversal to the span the output actually covers. Equal keys
+	// stay included (the merge prefers the learned copy).
+	artHi := hi
+	if len(bufs.learned) >= max {
+		artHi = bufs.learned[len(bufs.learned)-1].Key
+	}
+	bufs.art = t.tree.AppendRange(bufs.art[:0], start, artHi, max)
+	return mergeRuns(dst, bufs.learned, bufs.art, max)
 }
 
 // Scan visits up to n pairs with keys >= start in ascending order,
 // merging the learned layer's slot stream with the ART layer's tree scan
-// (§III-G Range Query). Equal keys — possible only inside a migration
-// window — are deduplicated in favour of the learned copy.
+// (§III-G Range Query). It is a thin shim over the run kernel: pairs are
+// collected into a pooled buffer by scanAppend and replayed through fn, so
+// every caller of the callback interface exercises the block-granular path.
 func (t *ALT) Scan(start uint64, n int, fn func(uint64, uint64) bool) int {
 	if n <= 0 {
 		return 0
 	}
-	// One pin covers the whole merge: collectLearned dereferences every
-	// model of the loaded table, so none of them may be reclaimed before
-	// the scan finishes. The Range iterator re-pins per batch.
+	if t.opts.DisableScanKernel {
+		return t.scanPerSlot(start, n, fn)
+	}
+	bufs := scanBufPool.Get().(*scanBufs)
+	defer putScanBufs(bufs)
+	bufs.out = t.scanAppend(bufs.out[:0], bufs, start, ^uint64(0), n)
+	emitted := 0
+	for _, kv := range bufs.out {
+		emitted++
+		if !fn(kv.Key, kv.Value) {
+			break
+		}
+	}
+	return emitted
+}
+
+// collectRuns gathers up to max pairs with keys in [start, hi] from the
+// learned layer, appending into the caller's (pooled, reset) buffer via the
+// per-model block kernel. ok=false means a slot stayed write-locked (e.g. a
+// retraining freeze) and the caller should reload the table and retry; the
+// partially filled buffer is still returned so its capacity is kept.
+func (t *ALT) collectRuns(tb *table, start, hi uint64, max int, out []index.KV) ([]index.KV, bool) {
+	_, mi := tb.find(start)
+	for ; mi < len(tb.models) && len(out) < max; mi++ {
+		m := tb.models[mi]
+		if m.first > hi {
+			break // model ranges are sorted: everything later is past hi
+		}
+		s := 0
+		if m.first <= start {
+			s = m.slotOf(start)
+		}
+		var past, ok bool
+		out, past, ok = m.appendRuns(out, s, start, hi, max)
+		if !ok {
+			return out, false // frozen slot: table about to change
+		}
+		if past {
+			break // a key past hi was seen; later models are larger still
+		}
+	}
+	return out, true
+}
+
+// appendRuns is the block-granular scan kernel: it copies occupied runs out
+// of the model's interleaved 8-slot blocks starting at slot s0, appending
+// pairs with keys in [start, hi] until max pairs are buffered or the model
+// is exhausted. Each clean block costs one batched seqlock validation —
+// load the 8 meta words, copy the key and value lanes, reload the metas and
+// compare — instead of 8 independent validations; occupied lanes are then
+// extracted branch-lite from the meta snapshot. A locked or torn block
+// falls back to per-slot reads.
+//
+// past=true reports a key above hi (slot order equals key order, so the
+// whole scan is done). ok=false reports a frozen slot (retraining): the
+// caller must reload the table and retry.
+func (m *model) appendRuns(out []index.KV, s0 int, start, hi uint64, max int) (_ []index.KV, past, ok bool) {
+	firstBlock := s0 >> blockShift
+	nblocks := (m.nslots + blockMask) >> blockShift
+	for bi := firstBlock; bi < nblocks; bi++ {
+		b := &m.blocks[bi]
+		lane0 := 0
+		if bi == firstBlock {
+			lane0 = s0 & blockMask
+		}
+		// Occupancy bitmap straight from the meta snapshot. Trailing lanes
+		// past nslots are permanently empty, so they drop out here without
+		// an explicit bound.
+		var metas [blockSlots]uint32
+		locked, mask := uint32(0), uint32(0)
+		for j := 0; j < blockSlots; j++ {
+			w := b.meta[j].Load()
+			metas[j] = w
+			locked |= w
+			mask |= (w & slotOccupied) >> 1 << j
+		}
+		mask &^= 1<<lane0 - 1
+		if locked&slotLockBit == 0 {
+			// Copy and revalidate only the occupied lanes: an empty lane's
+			// concurrent insert is simply not observed, which linearizes the
+			// block read at the meta snapshot; deletes and updates of
+			// occupied lanes bump their meta and fail the reload compare.
+			var keys, vals [blockSlots]uint64
+			for om := mask; om != 0; om &= om - 1 {
+				j := bits.TrailingZeros32(om)
+				keys[j] = b.keys[j].Load()
+				vals[j] = b.vals[j].Load()
+			}
+			clean := true
+			for om := mask; om != 0; om &= om - 1 {
+				j := bits.TrailingZeros32(om)
+				if b.meta[j].Load() != metas[j] {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				for ; mask != 0; mask &= mask - 1 {
+					j := bits.TrailingZeros32(mask)
+					k := keys[j]
+					if k < start {
+						continue
+					}
+					if k > hi {
+						return out, true, true
+					}
+					out = append(out, index.KV{Key: k, Value: vals[j]})
+					if len(out) >= max {
+						return out, false, true
+					}
+				}
+				continue
+			}
+		}
+		// Contended block: per-slot seqlock reads with bounded backoff.
+		end := bi<<blockShift + blockSlots
+		if end > m.nslots {
+			end = m.nslots
+		}
+		for s := bi<<blockShift + lane0; s < end; s++ {
+			k, v, st, rok := m.readPersistent(s)
+			if !rok {
+				return out, false, false
+			}
+			if st&slotOccupied == 0 || k < start {
+				continue
+			}
+			if k > hi {
+				return out, true, true
+			}
+			out = append(out, index.KV{Key: k, Value: v})
+			if len(out) >= max {
+				return out, false, true
+			}
+		}
+	}
+	return out, false, true
+}
+
+// readPersistent is a per-slot seqlock read that retries through transient
+// writer windows. ok=false means the slot stayed locked through the whole
+// backoff budget — in practice a retraining freeze.
+func (m *model) readPersistent(s int) (key, val uint64, meta uint32, ok bool) {
+	var bo backoff
+	for try := 0; try < 64; try++ {
+		if k, v, st, rok := m.read(s); rok {
+			return k, v, st, true
+		}
+		bo.wait()
+	}
+	return 0, 0, 0, false
+}
+
+// mergeRuns merges the learned and ART run buffers into dst (ascending,
+// at most max appended pairs): each ART entry is located in the learned
+// run by a galloping search from the merge frontier and the learned span
+// below it is copied wholesale. Galloping adapts to the actual ART
+// density — a sparse ART pays O(log span) per entry over long spans,
+// while densely interleaved entries (a migration-heavy index) resolve in
+// one or two probes, so the merge never degrades below the per-key 3-way
+// loop it replaces. Equal keys prefer the learned copy.
+func mergeRuns(dst, learned, art []index.KV, max int) []index.KV {
+	if len(art) == 0 {
+		n := len(learned)
+		if n > max {
+			n = max
+		}
+		return append(dst, learned[:n]...)
+	}
+	base := len(dst)
+	i := 0
+	for _, a := range art {
+		room := max - (len(dst) - base)
+		if room <= 0 {
+			return dst
+		}
+		span := gallopKV(learned[i:], a.Key)
+		if span > room {
+			span = room
+		}
+		dst = append(dst, learned[i:i+span]...)
+		i += span
+		if max-(len(dst)-base) <= 0 {
+			return dst
+		}
+		if i < len(learned) && learned[i].Key == a.Key {
+			dst = append(dst, learned[i]) // duplicate: keep the learned copy
+			i++
+		} else {
+			dst = append(dst, a)
+		}
+	}
+	if room := max - (len(dst) - base); room > 0 {
+		n := len(learned) - i
+		if n > room {
+			n = room
+		}
+		dst = append(dst, learned[i:i+n]...)
+	}
+	return dst
+}
+
+// gallopKV returns the first position in s whose key is >= key, found by
+// exponential probing from the front followed by a binary search over the
+// bracketed window. Hand-rolled (no sort.Search) so the zero-alloc scan
+// path stays closure-free.
+func gallopKV(s []index.KV, key uint64) int {
+	if len(s) == 0 || s[0].Key >= key {
+		return 0
+	}
+	// Invariant: s[lo].Key < key. Double the step until the window
+	// [lo, lo+step] brackets the boundary or runs off the end.
+	lo, step := 0, 1
+	for lo+step < len(s) && s[lo+step].Key < key {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(s) {
+		hi = len(s)
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].Key < key {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// scanPerSlot is the pre-kernel scan path — per-slot seqlock validation
+// and a per-key 3-way merge — selected by Options.DisableScanKernel. Kept
+// bit-for-bit as the measured baseline for the scan-path experiment and as
+// a fallback escape hatch.
+func (t *ALT) scanPerSlot(start uint64, n int, fn func(uint64, uint64) bool) int {
 	g := t.ebr.Pin()
 	defer g.Unpin()
 	bufs := scanBufPool.Get().(*scanBufs)
@@ -57,7 +357,7 @@ func (t *ALT) Scan(start uint64, n int, fn func(uint64, uint64) bool) int {
 		}
 	}
 	learned := bufs.learned
-	bufs.art = t.tree.AppendRange(bufs.art[:0], start, ^uint64(0), n)
+	bufs.art = t.tree.AppendRangeLegacy(bufs.art[:0], start, ^uint64(0), n)
 	artBuf := bufs.art
 
 	emitted := 0
@@ -84,11 +384,8 @@ func (t *ALT) Scan(start uint64, n int, fn func(uint64, uint64) bool) int {
 	return emitted
 }
 
-// collectLearned gathers up to n in-range pairs from the learned layer,
-// appending into the caller's (pooled, reset) buffer. ok=false means a
-// slot stayed write-locked (e.g. a retraining freeze) and the caller should
-// reload the table and retry; the partially filled buffer is still returned
-// so its capacity is kept.
+// collectLearned is scanPerSlot's learned-layer collector: one seqlock
+// validation per slot. ok=false mirrors collectRuns.
 func (t *ALT) collectLearned(tb *table, start uint64, n int, out []index.KV) ([]index.KV, bool) {
 	_, mi := tb.find(start)
 	for ; mi < len(tb.models) && len(out) < n; mi++ {
@@ -98,19 +395,7 @@ func (t *ALT) collectLearned(tb *table, start uint64, n int, out []index.KV) ([]
 			s = m.slotOf(start)
 		}
 		for ; s < m.nslots && len(out) < n; s++ {
-			var k, v uint64
-			var st uint32
-			readOK := false
-			var bo backoff
-			for try := 0; try < 64; try++ {
-				var ok bool
-				k, v, st, ok = m.read(s)
-				if ok {
-					readOK = true
-					break
-				}
-				bo.wait()
-			}
+			k, v, st, readOK := m.readPersistent(s)
 			if !readOK {
 				return out, false // frozen slot: table about to change
 			}
@@ -120,13 +405,6 @@ func (t *ALT) collectLearned(tb *table, start uint64, n int, out []index.KV) ([]
 		}
 	}
 	return out, true
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Range returns a Go iterator over pairs with keys >= start in ascending

@@ -73,6 +73,40 @@ type Concurrent interface {
 	Len() int
 }
 
+// RangeAppender is optionally implemented by indexes with a bounded,
+// allocation-free range primitive. ScanAppend appends up to max pairs with
+// keys in [start, end) to dst in ascending key order and returns the
+// extended slice. end == ^Key(0) means "no upper bound" and then includes
+// key MaxUint64 itself (the one key a half-open bound cannot express an
+// exclusion for); any other end <= start yields an empty window. Callers
+// that reuse dst across calls pay zero allocations.
+type RangeAppender interface {
+	ScanAppend(dst []KV, start, end Key, max int) []KV
+}
+
+// AppendRange collects up to max pairs with keys in [start, end) from ix
+// into dst, using the native ScanAppend when ix implements RangeAppender
+// and degrading to a bounded Scan otherwise. In the fallback, reaching a
+// key >= end ends the window, so a short result always means the window
+// (or keyspace) is exhausted — the resume-loop contract batch consumers
+// rely on.
+func AppendRange(ix Concurrent, dst []KV, start, end Key, max int) []KV {
+	if ra, ok := ix.(RangeAppender); ok {
+		return ra.ScanAppend(dst, start, end, max)
+	}
+	if max <= 0 || (end != ^Key(0) && end <= start) {
+		return dst
+	}
+	ix.Scan(start, max, func(k Key, v Value) bool {
+		if end != ^Key(0) && k >= end {
+			return false
+		}
+		dst = append(dst, KV{Key: k, Value: v})
+		return true
+	})
+	return dst
+}
+
 // Stats is optionally implemented by indexes that expose internal counters
 // used by the paper's "inside analysis" experiments (Fig 10).
 type Stats interface {

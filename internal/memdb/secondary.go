@@ -2,6 +2,7 @@ package memdb
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"altindex/internal/core"
@@ -120,33 +121,45 @@ func (s *Secondary) add(pk, colVal uint64) error {
 }
 
 // scanRange visits composite entries in [lo, hi] in batches so arbitrarily
-// large ranges never materialise in memory at once.
+// large ranges never materialise in memory at once. Batches are pulled
+// through the index's bounded run kernel (index.AppendRange with the
+// half-open end hi+1, or the unbounded sentinel when hi is MaxUint64), so
+// the upper bound prunes inside the index instead of over-fetching a full
+// batch past the window.
 func (s *Secondary) scanRange(lo, hi uint64, visit func(ck, pk uint64) bool) {
 	const batch = 128
+	end := hi + 1
+	if hi == ^uint64(0) {
+		end = ^uint64(0) // sentinel: unbounded, includes MaxUint64 itself
+	}
+	bp := secScanPool.Get().(*[]index.KV)
+	buf := *bp
 	start := lo
 	for {
-		var last uint64
-		n := 0
+		buf = index.AppendRange(s.ix, buf[:0], start, end, batch)
 		stopped := false
-		s.ix.Scan(start, batch, func(ck, pk uint64) bool {
-			if ck > hi {
+		for _, kv := range buf {
+			if !visit(kv.Key, kv.Value) {
 				stopped = true
-				return false
+				break
 			}
-			last = ck
-			n++
-			if !visit(ck, pk) {
-				stopped = true
-				return false
-			}
-			return true
-		})
-		if stopped || n < batch || last == ^uint64(0) {
-			return
 		}
-		start = last + 1
+		if stopped || len(buf) < batch || buf[len(buf)-1].Key == ^uint64(0) {
+			break
+		}
+		start = buf[len(buf)-1].Key + 1
 	}
+	if cap(buf) <= batch {
+		*bp = buf
+	}
+	secScanPool.Put(bp)
 }
+
+// secScanPool recycles scanRange's batch buffers across calls.
+var secScanPool = sync.Pool{New: func() any {
+	b := make([]index.KV, 0, 128)
+	return &b
+}}
 
 // remove unindexes the entry for (colVal, pk) by scanning the column's
 // composite range for the matching primary key.

@@ -8,7 +8,67 @@
 // line, fields separated by runs of spaces/tabs, replies single lines
 // (or END-terminated blocks). These helpers never retain or mutate their
 // inputs; returned sub-slices alias the input line.
+//
+// The Append* reply formatters are the write-side counterparts: they build
+// protocol reply lines directly into the caller's (pooled) buffer with
+// strconv-style appends, replacing fmt on the server's streaming paths.
 package netproto
+
+import "strconv"
+
+// AppendPair appends a SCAN result line: "PAIR <key> <value>\n".
+func AppendPair(dst []byte, key, value uint64) []byte {
+	dst = append(dst, "PAIR "...)
+	dst = strconv.AppendUint(dst, key, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, value, 10)
+	return append(dst, '\n')
+}
+
+// AppendErr appends a structured error reply: "ERR <code> <msg>\n".
+func AppendErr(dst []byte, code, msg string) []byte {
+	dst = append(dst, "ERR "...)
+	dst = append(dst, code...)
+	dst = append(dst, ' ')
+	dst = append(dst, msg...)
+	return append(dst, '\n')
+}
+
+// AppendErrToken appends an error reply that echoes one offending token,
+// Go-quoted like fmt's %q so binary junk stays printable:
+// "ERR <code>[ pre] <quoted tok>[ post]\n". Empty pre/post are omitted
+// along with their separating space.
+func AppendErrToken(dst []byte, code, pre string, tok []byte, post string) []byte {
+	dst = append(dst, "ERR "...)
+	dst = append(dst, code...)
+	if pre != "" {
+		dst = append(dst, ' ')
+		dst = append(dst, pre...)
+	}
+	dst = append(dst, ' ')
+	dst = strconv.AppendQuote(dst, string(tok))
+	if post != "" {
+		dst = append(dst, ' ')
+		dst = append(dst, post...)
+	}
+	return append(dst, '\n')
+}
+
+// AppendErrLimit appends a size-cap error reply:
+// "ERR <code> <n> <noun>, max <max> per <cmd>\n".
+func AppendErrLimit(dst []byte, code string, n int, noun string, max int, cmd string) []byte {
+	dst = append(dst, "ERR "...)
+	dst = append(dst, code...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, noun...)
+	dst = append(dst, ", max "...)
+	dst = strconv.AppendInt(dst, int64(max), 10)
+	dst = append(dst, " per "...)
+	dst = append(dst, cmd...)
+	return append(dst, '\n')
+}
 
 // Fields splits line into whitespace-separated fields, appending the
 // sub-slices to dst (pass dst[:0] of a reused scratch to stay

@@ -3,8 +3,9 @@ package server
 // Slow-path command execution: multi-key requests, scans, stats, and the
 // structured-error replies for malformed point commands. The caller
 // (dispatch) has already settled the pending group, so these may reply
-// immediately. Replies are appended with strconv, not fmt, on success
-// paths; error paths may allocate.
+// immediately. Replies — including the usage/size-cap error lines — are
+// appended with the netproto/strconv formatters, never fmt; only the
+// %v-of-error internal failure paths still allocate through fmt.
 
 import (
 	"fmt"
@@ -15,11 +16,16 @@ import (
 	"altindex/internal/netproto"
 )
 
+// scanChunk bounds one ScanAppend pull per SCAN reply chunk: big enough to
+// amortize the index's run collection, small enough that the reply buffer
+// hits its high-water flush between chunks instead of ballooning.
+const scanChunk = 512
+
 func (s *Server) dispatchSlow(cs *connState, cmd []byte, args [][]byte) {
 	switch {
 	case netproto.EqFold(cmd, "SET"):
 		if len(args) != 2 {
-			cs.out = fmt.Appendf(cs.out, "ERR %s SET <key> <value>\n", errUsage)
+			cs.out = netproto.AppendErr(cs.out, errUsage, "SET <key> <value>")
 			return
 		}
 		// The fast path rejected it, so one of the tokens is bad; report
@@ -31,13 +37,13 @@ func (s *Server) dispatchSlow(cs *connState, cmd []byte, args [][]byte) {
 		cs.appendBadInt(args[1])
 	case netproto.EqFold(cmd, "GET"):
 		if len(args) != 1 {
-			cs.out = fmt.Appendf(cs.out, "ERR %s GET <key>\n", errUsage)
+			cs.out = netproto.AppendErr(cs.out, errUsage, "GET <key>")
 			return
 		}
 		cs.appendBadInt(args[0])
 	case netproto.EqFold(cmd, "DEL"):
 		if len(args) != 1 {
-			cs.out = fmt.Appendf(cs.out, "ERR %s DEL <key>\n", errUsage)
+			cs.out = netproto.AppendErr(cs.out, errUsage, "DEL <key>")
 			return
 		}
 		cs.appendBadInt(args[0])
@@ -46,11 +52,11 @@ func (s *Server) dispatchSlow(cs *connState, cmd []byte, args [][]byte) {
 		// model-table load and amortized routing for the whole request —
 		// and a single coalescer unit, so concurrent MGETs share rounds.
 		if len(args) == 0 {
-			cs.out = fmt.Appendf(cs.out, "ERR %s MGET <key> [key ...]\n", errUsage)
+			cs.out = netproto.AppendErr(cs.out, errUsage, "MGET <key> [key ...]")
 			return
 		}
 		if len(args) > maxBatch {
-			cs.out = fmt.Appendf(cs.out, "ERR %s %d keys, max %d per MGET\n", errTooBig, len(args), maxBatch)
+			cs.out = netproto.AppendErrLimit(cs.out, errTooBig, len(args), "keys", maxBatch, "MGET")
 			return
 		}
 		keys := cs.gKeys[:0]
@@ -90,11 +96,11 @@ func (s *Server) dispatchSlow(cs *connState, cmd []byte, args [][]byte) {
 	case netproto.EqFold(cmd, "MPUT"):
 		// Batched upsert via InsertBatch (one redo record in durable mode).
 		if len(args) == 0 || len(args)%2 != 0 {
-			cs.out = fmt.Appendf(cs.out, "ERR %s MPUT <key> <value> [key value ...]\n", errUsage)
+			cs.out = netproto.AppendErr(cs.out, errUsage, "MPUT <key> <value> [key value ...]")
 			return
 		}
 		if len(args)/2 > maxBatch {
-			cs.out = fmt.Appendf(cs.out, "ERR %s %d pairs, max %d per MPUT\n", errTooBig, len(args)/2, maxBatch)
+			cs.out = netproto.AppendErrLimit(cs.out, errTooBig, len(args)/2, "pairs", maxBatch, "MPUT")
 			return
 		}
 		pairs := cs.gPairs[:0]
@@ -123,7 +129,7 @@ func (s *Server) dispatchSlow(cs *connState, cmd []byte, args [][]byte) {
 		cs.gPairs = cs.gPairs[:0]
 	case netproto.EqFold(cmd, "SCAN"):
 		if len(args) != 2 {
-			cs.out = fmt.Appendf(cs.out, "ERR %s SCAN <start> <n>\n", errUsage)
+			cs.out = netproto.AppendErr(cs.out, errUsage, "SCAN <start> <n>")
 			return
 		}
 		start, ok := netproto.ParseUint(args[0])
@@ -131,22 +137,42 @@ func (s *Server) dispatchSlow(cs *connState, cmd []byte, args [][]byte) {
 			cs.appendBadInt(args[0])
 			return
 		}
-		n, err := strconv.Atoi(string(args[1]))
-		if err != nil || n < 0 {
-			cs.out = fmt.Appendf(cs.out, "ERR %s %q is not a row count\n", errBadInt, args[1])
+		n64, ok := netproto.ParseUint(args[1])
+		if !ok {
+			cs.out = netproto.AppendErrToken(cs.out, errBadInt, "", args[1], "is not a row count")
 			return
 		}
-		if n > 10000 {
-			n = 10000 // per-request cap
+		n := 10000 // per-request cap
+		if n64 < uint64(n) {
+			n = int(n64)
 		}
-		s.idx.Scan(start, n, func(k, v uint64) bool {
-			cs.out = append(cs.out, "PAIR "...)
-			cs.out = strconv.AppendUint(cs.out, k, 10)
-			cs.out = append(cs.out, ' ')
-			cs.out = strconv.AppendUint(cs.out, v, 10)
-			cs.out = append(cs.out, '\n')
-			return cs.budget() // stop streaming into a dead socket
-		})
+		// Stream the window in bounded run chunks: each chunk is one
+		// ScanAppend pull into the reused pair scratch, formatted with the
+		// netproto appenders into the pooled reply buffer; budget() flushes
+		// at the high-water mark between pairs, so a 10k-row SCAN never
+		// holds more than one flush window of reply bytes.
+		pairs := cs.gPairs[:0]
+		cur := start
+		for remaining := n; remaining > 0; {
+			chunk := remaining
+			if chunk > scanChunk {
+				chunk = scanChunk
+			}
+			pairs = s.idx.ScanAppend(pairs[:0], cur, ^uint64(0), chunk)
+			for _, kv := range pairs {
+				cs.out = netproto.AppendPair(cs.out, kv.Key, kv.Value)
+				if !cs.budget() {
+					cs.gPairs = pairs[:0]
+					return // stop streaming into a dead socket
+				}
+			}
+			remaining -= len(pairs)
+			if len(pairs) < chunk || pairs[len(pairs)-1].Key == ^uint64(0) {
+				break // keyspace exhausted
+			}
+			cur = pairs[len(pairs)-1].Key + 1
+		}
+		cs.gPairs = pairs[:0]
 		cs.out = append(cs.out, "END\n"...)
 	case netproto.EqFold(cmd, "LEN"):
 		cs.out = append(cs.out, "VALUE "...)
@@ -188,6 +214,6 @@ func (s *Server) dispatchSlow(cs *connState, cmd []byte, args [][]byte) {
 			}
 			up[i] = c
 		}
-		cs.out = fmt.Appendf(cs.out, "ERR %s command %q\n", errUnknown, up)
+		cs.out = netproto.AppendErrToken(cs.out, errUnknown, "command", up, "")
 	}
 }

@@ -490,5 +490,5 @@ func growBool(s []bool, n int) []bool {
 
 // appendBadInt emits the structured BADINT reply for one non-uint64 token.
 func (cs *connState) appendBadInt(tok []byte) {
-	cs.out = fmt.Appendf(cs.out, "ERR %s %q is not a uint64\n", errBadInt, tok)
+	cs.out = netproto.AppendErrToken(cs.out, errBadInt, "", tok, "is not a uint64")
 }

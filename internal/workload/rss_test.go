@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"os"
+	"syscall"
+	"testing"
+
+	"altindex/internal/dataset"
+)
+
+// maxRSSKiB reads the process high-water RSS. Linux reports ru_maxrss in
+// KiB; that is the unit EXPERIMENTS.md records.
+func maxRSSKiB(t *testing.T) int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		t.Fatalf("getrusage: %v", err)
+	}
+	return ru.Maxrss
+}
+
+// TestSplitLoadRSS measures the peak-RSS cost of splitting a large-tier
+// dataset into load/pending halves (ROADMAP item 3's blocker: the split
+// used to materialize a second full copy of the sorted key set). Gated
+// behind SPLIT_RSS=1 because it holds a 20M-key dataset: run with
+//
+//	SPLIT_RSS=1 go test -run TestSplitLoadRSS -v ./internal/workload
+//
+// and record the "split delta" line in EXPERIMENTS.md when it changes.
+func TestSplitLoadRSS(t *testing.T) {
+	if os.Getenv("SPLIT_RSS") == "" {
+		t.Skip("set SPLIT_RSS=1 to run the 20M-key RSS measurement")
+	}
+	const n = 20_000_000
+	keys := dataset.Generate(dataset.Libio, n, 1)
+	afterGen := maxRSSKiB(t)
+	loaded, pending := SplitLoad(keys, 0.5, 1)
+	afterSplit := maxRSSKiB(t)
+	if len(loaded)+len(pending) != n {
+		t.Fatalf("split lost keys: %d+%d != %d", len(loaded), len(pending), n)
+	}
+	t.Logf("after generate: maxrss = %d KiB", afterGen)
+	t.Logf("after split:    maxrss = %d KiB", afterSplit)
+	t.Logf("split delta:    %d KiB for %d keys (%d MiB key set)",
+		afterSplit-afterGen, n, n*8/(1<<20))
+}

@@ -289,6 +289,12 @@ func (s *Stream) insertKey() uint64 {
 // pending insert keys, per the paper's default of bulkloading initRatio of
 // the dataset (0.5 in §IV-A2) and inserting the rest. The pending keys are
 // returned shuffled (uniform insert order) under seed.
+//
+// The split is in place: the returned slices alias keys, which is
+// partitioned (loaded sorted at the front, pending shuffled behind it) —
+// so at the 50-200M-key tier the split adds zero resident bytes instead of
+// materializing a second full copy of the sorted key set. Callers may keep
+// using keys as a multiset but must not rely on its original order.
 func SplitLoad(keys []uint64, initRatio float64, seed uint64) (loaded, pending []uint64) {
 	if initRatio < 0 {
 		initRatio = 0
@@ -301,24 +307,27 @@ func SplitLoad(keys []uint64, initRatio float64, seed uint64) (loaded, pending [
 	// with loaded keys rather than extending past them).
 	n := len(keys)
 	want := int(float64(n) * initRatio)
-	loaded = make([]uint64, 0, want)
-	pending = make([]uint64, 0, n-want)
-	if want <= 0 {
-		pending = append(pending, keys...)
-	} else {
+	if want > 0 {
+		// Stable-for-selected partition: the sampled positions swap to the
+		// front in ascending order, so loaded stays sorted; the displaced
+		// keys land in the tail in arbitrary order, which the shuffle below
+		// erases. A position is only ever written at or before its own
+		// step, so each selection still reads the original sorted key.
 		stride := float64(n) / float64(want)
 		next := 0.0
 		idx := 0
-		for i, k := range keys {
-			if i == int(next) && idx < want {
-				loaded = append(loaded, k)
+		for i := 0; i < n && idx < want; i++ {
+			if i == int(next) {
+				keys[idx], keys[i] = keys[i], keys[idx]
 				idx++
 				next += stride
-			} else {
-				pending = append(pending, k)
 			}
 		}
+		want = idx
+	} else {
+		want = 0
 	}
+	loaded, pending = keys[:want:want], keys[want:]
 	r := xrand.New(seed ^ 0xfeedbeef)
 	for i := len(pending) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
@@ -331,6 +340,12 @@ func SplitLoad(keys []uint64, initRatio float64, seed uint64) (loaded, pending [
 // hot-write workload: 20M consecutive keys reserved out of 200M, indexes
 // initialised with the rest). frac is the reserved fraction; the reserved
 // run is taken from the middle of the keyspace, in ascending (hot) order.
+//
+// Only the reserved run is copied out; the remainder is compacted in
+// place, so loaded aliases keys and the split allocates frac·n keys
+// instead of a full second copy. Callers must treat keys as consumed:
+// after the split it holds loaded in its first n-res positions and
+// garbage beyond.
 func HotSplit(keys []uint64, frac float64, _ uint64) (loaded, pending []uint64) {
 	n := len(keys)
 	res := int(float64(n) * frac)
@@ -338,8 +353,7 @@ func HotSplit(keys []uint64, frac float64, _ uint64) (loaded, pending []uint64) 
 		return keys, nil
 	}
 	start := (n - res) / 2
-	pending = append(pending, keys[start:start+res]...)
-	loaded = append(loaded, keys[:start]...)
-	loaded = append(loaded, keys[start+res:]...)
-	return loaded, pending
+	pending = append(make([]uint64, 0, res), keys[start:start+res]...)
+	copy(keys[start:], keys[start+res:])
+	return keys[: n-res : n-res], pending
 }

@@ -42,24 +42,33 @@ func TestSplitLoadPartitions(t *testing.T) {
 	if len(seen) != len(keys) {
 		t.Fatal("split dropped keys")
 	}
-	// Ratio edge cases.
-	l0, p0 := SplitLoad(keys, 0, 1)
+	// Ratio edge cases. The split is in place, so each case gets a fresh
+	// sorted input.
+	l0, p0 := SplitLoad(dataset.Generate(dataset.OSM, 10000, 1), 0, 1)
 	if len(l0) != 0 || len(p0) != len(keys) {
 		t.Fatal("ratio 0 broken")
 	}
-	l1, p1 := SplitLoad(keys, 1, 1)
+	l1, p1 := SplitLoad(dataset.Generate(dataset.OSM, 10000, 1), 1, 1)
 	if len(p1) != 0 || len(l1) != len(keys) {
 		t.Fatal("ratio 1 broken")
+	}
+	for i := 1; i < len(l1); i++ {
+		if l1[i] <= l1[i-1] {
+			t.Fatal("ratio-1 loaded not sorted")
+		}
 	}
 }
 
 func TestHotSplitConsecutive(t *testing.T) {
 	keys := dataset.Generate(dataset.Libio, 10000, 3)
+	// The split consumes keys (loaded aliases its compacted front), so
+	// compare against a snapshot of the original sorted array.
+	orig := append([]uint64(nil), keys...)
 	loaded, pending := HotSplit(keys, 0.2, 0)
 	if len(pending) != 2000 {
 		t.Fatalf("reserved %d, want 2000", len(pending))
 	}
-	if len(loaded)+len(pending) != len(keys) {
+	if len(loaded)+len(pending) != len(orig) {
 		t.Fatal("hot split lost keys")
 	}
 	for i := 1; i < len(pending); i++ {
@@ -69,15 +78,30 @@ func TestHotSplitConsecutive(t *testing.T) {
 	}
 	// The reserved run is contiguous inside the original array.
 	start := -1
-	for i, k := range keys {
+	for i, k := range orig {
 		if k == pending[0] {
 			start = i
 			break
 		}
 	}
 	for i, k := range pending {
-		if keys[start+i] != k {
+		if orig[start+i] != k {
 			t.Fatal("reserved run not contiguous")
+		}
+	}
+	// Loaded is the original minus the reserved middle, still sorted.
+	for i := 1; i < len(loaded); i++ {
+		if loaded[i] <= loaded[i-1] {
+			t.Fatal("loaded not sorted after compaction")
+		}
+	}
+	for i, k := range loaded {
+		want := orig[i]
+		if i >= start {
+			want = orig[i+len(pending)]
+		}
+		if k != want {
+			t.Fatalf("loaded[%d] = %d, want %d", i, k, want)
 		}
 	}
 }

@@ -6,11 +6,11 @@ Three modes:
 - summarize.py [results/experiments_raw.txt]: per Fig-7 mix, print each
   dataset's ALT throughput, the best baseline, and the ratio — the
   numbers EXPERIMENTS.md quotes.
-- summarize.py results/BENCH_4.json (any .json): the shard-scaling
-  sweep. Prints, per dataset, a threads x shard-count throughput grid
-  plus the speedup of every shard count over the unsharded (S0) run at
-  the same thread count, and flags the max-thread speedups the
-  acceptance gate reads.
+- summarize.py results/BENCH_4.json (any .json): renders whichever
+  grids the artifact carries — the shard-scaling threads x shard-count
+  grid with speedups over unsharded (S0), the net-path legacy vs
+  pipelined table, and the scan-path kernel vs per-slot table with the
+  1k-length acceptance ratios.
 - summarize.py compare [--threshold N] OLD.json NEW.json: diff two
   altbench -json artifacts row by row — rows are keyed on (Experiment,
   Index, Dataset, Mix, Threads) — printing ns/op and Mops for both
@@ -139,6 +139,47 @@ def summarize_net(path):
         )
 
 
+def summarize_scan(path):
+    """Scan-path grid: per dataset x scan length x mode, the block-run
+    kernel vs the preserved per-slot baseline in Mkeys/s, plus the kernel
+    speedup. The 1k-length rows are the acceptance cells (the PR gate
+    wants kernel >= 1.4x per-slot on at least one dataset, and no
+    regression at length 10). Rows come from altbench -exp scan-path."""
+    doc = json.load(open(path))
+    cells = {}  # (dataset, length, mode) -> engine -> run
+    for run in doc.get("Runs", []):
+        if run.get("Experiment") != "scan-path":
+            continue
+        m = re.match(r"scan(\d+)-(idle|writer)$", run.get("Mix", ""))
+        if not m:
+            continue
+        engine = "kernel" if run["Index"] == "ALT-scan-kernel" else "perslot"
+        key = (run["Dataset"], int(m.group(1)), m.group(2))
+        cells.setdefault(key, {})[engine] = run
+    if not cells:
+        print(f"{path}: no scan-path rows found")
+        return
+    print("\n== scan path: emitted Mkeys/s, block-run kernel vs per-slot ==")
+    print(
+        f"{'dataset':>8s} {'len':>6s} {'mode':>6s} {'perslot':>9s} {'kernel':>9s}"
+        f" {'speedup':>8s}"
+    )
+    gate = []
+    for (ds, length, mode) in sorted(cells):
+        bye = cells[(ds, length, mode)]
+        slot = bye.get("perslot", {}).get("Mops", 0.0)
+        kern = bye.get("kernel", {}).get("Mops", 0.0)
+        speed = f"{kern/slot:7.2f}x" if slot and kern else f"{'-':>8s}"
+        print(
+            f"{ds:>8s} {length:>6d} {mode:>6s} {slot:>9.2f} {kern:>9.2f} {speed}"
+        )
+        if length == 1000 and slot and kern:
+            gate.append((ds, mode, kern / slot))
+    for ds, mode, ratio in gate:
+        mark = "PASS" if ratio >= 1.4 else "    "
+        print(f"  1k gate {ds}/{mode}: kernel = {ratio:.2f}x per-slot {mark}")
+
+
 def load_rows(path):
     """Index an altbench -json artifact by (Experiment, Index, Dataset, Mix, Threads)."""
     doc = json.load(open(path))
@@ -248,7 +289,9 @@ def main(*argv):
         experiments = {r.get("Experiment") for r in doc.get("Runs", [])}
         if "net-path" in experiments:
             summarize_net(path)
-        if experiments - {"net-path"}:
+        if "scan-path" in experiments:
+            summarize_scan(path)
+        if experiments - {"net-path", "scan-path"}:
             summarize_shards(path)
     else:
         summarize_raw(path)
